@@ -1,0 +1,319 @@
+// bench_test.go provides one testing.B benchmark per table and figure of
+// the paper's evaluation (run the cmd/kbench binary for the full-scale
+// regeneration with printed rows), plus micro-benchmarks for the primitive
+// operations whose costs drive Table 2's runtime column.
+//
+// The per-experiment benchmarks run on deliberately small archive subsets
+// so that `go test -bench=. -benchmem` completes in minutes; the shapes of
+// the results (who wins, by roughly what factor) match the full runs
+// recorded in EXPERIMENTS.md.
+package kshape
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"kshape/internal/avg"
+	"kshape/internal/core"
+	"kshape/internal/dataset"
+	"kshape/internal/dist"
+	"kshape/internal/experiments"
+	"kshape/internal/ts"
+)
+
+// benchConfig builds an experiment configuration over the named archive
+// datasets with minimal run counts.
+func benchConfig(b *testing.B, names ...string) experiments.Config {
+	b.Helper()
+	cfg := experiments.Config{Runs: 2, SpectralRuns: 2, Seed: 1, MaxWindowFrac: 0.10}
+	for _, name := range names {
+		ds, ok := dataset.ArchiveByName(name)
+		if !ok {
+			b.Fatalf("dataset %q not in archive", name)
+		}
+		cfg.Datasets = append(cfg.Datasets, ds)
+	}
+	return cfg
+}
+
+// --- one benchmark per table ------------------------------------------------
+
+func BenchmarkTable2Distances(b *testing.B) {
+	cfg := benchConfig(b, "ShortWaves", "ShortBumps")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(cfg)
+	}
+}
+
+func BenchmarkTable3Scalable(b *testing.B) {
+	cfg := benchConfig(b, "ShortWaves", "ShortBumps")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(cfg)
+	}
+}
+
+func BenchmarkTable4NonScalable(b *testing.B) {
+	cfg := benchConfig(b, "ShortWaves", "ShortBumps")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.ResetMatrixCache() // the matrix build is part of the cost
+		experiments.Table4(cfg)
+	}
+}
+
+// --- one benchmark per figure ------------------------------------------------
+
+func BenchmarkFig2WarpingPath(b *testing.B) {
+	cfg := benchConfig(b, "TinyWaves")
+	for i := 0; i < b.N; i++ {
+		experiments.Fig2(cfg)
+	}
+}
+
+func BenchmarkFig3Normalizations(b *testing.B) {
+	cfg := benchConfig(b, "TinyWaves")
+	for i := 0; i < b.N; i++ {
+		experiments.Fig3(cfg)
+	}
+}
+
+func BenchmarkFig4ShapeExtractionVsMean(b *testing.B) {
+	cfg := benchConfig(b, "ECGLike")
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4(cfg)
+	}
+}
+
+func BenchmarkFig5Scatter(b *testing.B) {
+	cfg := benchConfig(b, "ShortWaves", "ShortBumps")
+	t2 := experiments.Table2(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(cfg, t2)
+	}
+}
+
+func BenchmarkFig6DistanceRanks(b *testing.B) {
+	cfg := benchConfig(b, "ShortWaves", "ShortBumps")
+	t2 := experiments.Table2(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6(cfg, t2)
+	}
+}
+
+func BenchmarkFig7ClusterScatter(b *testing.B) {
+	cfg := benchConfig(b, "ShortWaves", "ShortBumps")
+	t3 := experiments.Table3(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig7(cfg, t3)
+	}
+}
+
+func BenchmarkFig8ClusterRanks(b *testing.B) {
+	cfg := benchConfig(b, "ShortWaves", "ShortBumps")
+	t3 := experiments.Table3(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8(cfg, t3)
+	}
+}
+
+func BenchmarkFig9CombinedRanks(b *testing.B) {
+	cfg := benchConfig(b, "ShortWaves", "ShortBumps")
+	t3 := experiments.Table3(cfg)
+	t4 := experiments.Table4(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(cfg, t3, t4)
+	}
+}
+
+func BenchmarkFig10OptimalScaling(b *testing.B) {
+	cfg := benchConfig(b, "ShortWaves", "ShortBumps")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.AppendixA(cfg, experiments.NormOptimalScaling)
+	}
+}
+
+func BenchmarkFig11Values01(b *testing.B) {
+	cfg := benchConfig(b, "ShortWaves", "ShortBumps")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.AppendixA(cfg, experiments.NormValues01)
+	}
+}
+
+func BenchmarkFig12ScalabilityVaryN(b *testing.B) {
+	cfg := benchConfig(b, "TinyWaves")
+	cfg.Progress = io.Discard
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig12Sizes(cfg, []int{120, 240}, 64, nil, 0)
+	}
+}
+
+func BenchmarkFig12ScalabilityVaryM(b *testing.B) {
+	cfg := benchConfig(b, "TinyWaves")
+	cfg.Progress = io.Discard
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig12Sizes(cfg, nil, 0, []int{32, 64}, 120)
+	}
+}
+
+// --- micro-benchmarks: the primitives behind Table 2's runtime column ---------
+
+func benchPair(m int) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, m)
+	y := make([]float64, m)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	return ts.ZNormalizeInPlace(x), ts.ZNormalizeInPlace(y)
+}
+
+func BenchmarkED128(b *testing.B) {
+	x, y := benchPair(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dist.ED(x, y)
+	}
+}
+
+func BenchmarkSBD128(b *testing.B) {
+	x, y := benchPair(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dist.SBDDist(x, y)
+	}
+}
+
+func BenchmarkSBDNoFFT128(b *testing.B) {
+	x, y := benchPair(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dist.SBDNoFFT(x, y)
+	}
+}
+
+func BenchmarkSBDBatch128(b *testing.B) {
+	x, y := benchPair(128)
+	batch := dist.NewSBDBatch([][]float64{y})
+	q := batch.Query(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Distance(0)
+	}
+}
+
+func BenchmarkDTW128(b *testing.B) {
+	x, y := benchPair(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dist.DTW(x, y)
+	}
+}
+
+func BenchmarkCDTW5_128(b *testing.B) {
+	x, y := benchPair(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dist.CDTW(x, y, 6)
+	}
+}
+
+func BenchmarkShapeExtraction(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	cluster := make([][]float64, 30)
+	for i := range cluster {
+		x := make([]float64, 128)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		cluster[i] = ts.ZNormalizeInPlace(x)
+	}
+	ref := cluster[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		avg.ShapeExtraction(cluster, ref)
+	}
+}
+
+func BenchmarkKShapeCBF300x128(b *testing.B) {
+	data := ts.Rows(dataset.CBF(300, 128, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.KShape(data, 3, rand.New(rand.NewSource(int64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKAvgEDCBF300x128(b *testing.B) {
+	data := ts.Rows(dataset.CBF(300, 128, 1))
+	meanAvg := avg.MeanAverager{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := core.Lloyd(data, core.Config{
+			K:        3,
+			Distance: func(c, x []float64) float64 { return dist.ED(c, x) },
+			Centroid: meanAvg.Average,
+			Rand:     rand.New(rand.NewSource(int64(i))),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	cfg := benchConfig(b, "ShortWaves", "ShortBumps")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Ablations(cfg)
+	}
+}
+
+func BenchmarkTable2Extended(b *testing.B) {
+	cfg := benchConfig(b, "ShortWaves", "ShortBumps")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table2Extended(cfg)
+	}
+}
+
+func BenchmarkSBD1024(b *testing.B) {
+	x, y := benchPair(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dist.SBDDist(x, y)
+	}
+}
+
+func BenchmarkSBDNoFFT1024(b *testing.B) {
+	x, y := benchPair(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dist.SBDNoFFT(x, y)
+	}
+}
+
+func BenchmarkED1024(b *testing.B) {
+	x, y := benchPair(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dist.ED(x, y)
+	}
+}

@@ -1,0 +1,90 @@
+// Command datagen materializes the synthetic archive (or the CBF
+// scalability workload) as UCR-format files, so the datasets behind the
+// experiments can be inspected or fed to other tools.
+//
+// Usage:
+//
+//	datagen -dir out/                 # write all 48 archive datasets
+//	datagen -dir out/ -name CBF       # one dataset
+//	datagen -dir out/ -cbf-n 1000 -cbf-m 128  # CBF workload (single file)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"kshape/internal/dataset"
+	"kshape/internal/ts"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	dir := fs.String("dir", ".", "output directory")
+	name := fs.String("name", "", "write only the named archive dataset")
+	cbfN := fs.Int("cbf-n", 0, "if > 0, write a CBF workload with this many series instead of the archive")
+	cbfM := fs.Int("cbf-m", 128, "CBF series length")
+	seed := fs.Int64("seed", 1, "CBF seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	if *cbfN > 0 {
+		data := dataset.CBF(*cbfN, *cbfM, *seed)
+		path := filepath.Join(*dir, fmt.Sprintf("CBF_n%d_m%d.tsv", *cbfN, *cbfM))
+		if err := writeSeries(path, data); err != nil {
+			return err
+		}
+		fmt.Println(path)
+		return nil
+	}
+	for _, spec := range dataset.ArchiveSpecs() {
+		if *name != "" && spec.Name != *name {
+			continue
+		}
+		ds := dataset.Generate(spec)
+		trainPath := filepath.Join(*dir, spec.Name+"_TRAIN.tsv")
+		testPath := filepath.Join(*dir, spec.Name+"_TEST.tsv")
+		if err := writeSeries(trainPath, ds.Train); err != nil {
+			return err
+		}
+		if err := writeSeries(testPath, ds.Test); err != nil {
+			return err
+		}
+		fmt.Println(trainPath)
+		fmt.Println(testPath)
+	}
+	return nil
+}
+
+func writeSeries(path string, series []ts.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var sb strings.Builder
+	for _, s := range series {
+		sb.Reset()
+		fmt.Fprintf(&sb, "%d", s.Label)
+		for _, v := range s.Values {
+			fmt.Fprintf(&sb, ",%.6f", v)
+		}
+		sb.WriteByte('\n')
+		if _, err := f.WriteString(sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

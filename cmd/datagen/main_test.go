@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesSingleDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dir", dir, "-name", "CBF"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"CBF_TRAIN.tsv", "CBF_TEST.tsv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 10 {
+			t.Errorf("%s: only %d lines", name, len(lines))
+		}
+		fields := strings.Split(lines[0], ",")
+		if len(fields) != 129 { // label + 128 values
+			t.Errorf("%s: %d fields per line, want 129", name, len(fields))
+		}
+	}
+}
+
+func TestRunWritesCBFWorkload(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dir", dir, "-cbf-n", "12", "-cbf-m", "32"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "CBF_n12_m32.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 12 {
+		t.Errorf("lines = %d, want 12", len(lines))
+	}
+}
+
+func TestRunAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writing 96 files is slow")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 96 { // 48 datasets × train+test
+		t.Errorf("files = %d, want 96", len(entries))
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	if err := run([]string{"-dir", "/proc/definitely/not/writable"}); err == nil {
+		t.Error("unwritable dir accepted")
+	}
+}

@@ -1,0 +1,230 @@
+// Command kbench regenerates the tables and figures of the k-Shape paper's
+// evaluation on the synthetic archive.
+//
+// Usage:
+//
+//	kbench [-datasets N] [-runs R] [-spectral-runs S] [-seed X] [-v] <experiment>...
+//
+// Experiments: table2, table3, table4, fig2, fig3, fig4, fig5, fig6, fig7,
+// fig8, fig9, fig10, fig11, fig12, ablations, table2x, kestimation,
+// datasets, all.
+//
+// Table 2 and table-3/4 experiments print rows in the paper's layout;
+// figure experiments print the series/CSV data behind each plot. See
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"kshape/internal/experiments"
+	"kshape/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "kbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("kbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nDatasets := fs.Int("datasets", 48, "number of archive datasets to use (1-48)")
+	runs := fs.Int("runs", 5, "random restarts for partitional methods (paper: 10)")
+	spectralRuns := fs.Int("spectral-runs", 10, "random restarts for spectral methods (paper: 100)")
+	seed := fs.Int64("seed", 1, "base random seed")
+	verbose := fs.Bool("v", false, "print progress lines to stderr")
+	svgDir := fs.String("svgdir", "", "also write the scatter/rank/runtime figures as SVG files into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no experiment named; choose from table2 table3 table4 fig2..fig12 all")
+	}
+
+	cfg := experiments.ReducedConfig(*nDatasets)
+	cfg.Runs = *runs
+	cfg.SpectralRuns = *spectralRuns
+	cfg.Seed = *seed
+	if *verbose {
+		cfg.Progress = stderr
+	}
+
+	want := map[string]bool{}
+	for _, a := range fs.Args() {
+		if a == "all" {
+			for _, e := range []string{"table2", "table3", "table4", "fig2", "fig3", "fig4",
+				"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "table2x"} {
+				want[e] = true
+			}
+			continue
+		}
+		want[a] = true
+	}
+
+	// Experiments share intermediate results: Table 2 feeds figs 5-6,
+	// Tables 3-4 feed figs 7-9.
+	var t2 *experiments.Table2Result
+	needT2 := want["table2"] || want["fig5"] || want["fig6"]
+	var t3 *experiments.Table3Result
+	needT3 := want["table3"] || want["fig7"] || want["fig8"] || want["fig9"]
+	var t4 *experiments.Table4Result
+	needT4 := want["table4"] || want["fig9"]
+
+	section := func(name string) {
+		fmt.Fprintf(stdout, "\n==== %s ====\n", name)
+	}
+	writeSVG := func(name string, data []byte) {
+		if *svgDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "kbench: svgdir: %v\n", err)
+			return
+		}
+		path := filepath.Join(*svgDir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "kbench: %v\n", err)
+			return
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", path)
+	}
+	started := time.Now()
+
+	if needT2 {
+		r := experiments.Table2(cfg)
+		t2 = &r
+	}
+	if needT3 {
+		r := experiments.Table3(cfg)
+		t3 = &r
+	}
+	if needT4 {
+		r := experiments.Table4(cfg)
+		t4 = &r
+	}
+
+	if want["table2"] {
+		section("Table 2")
+		experiments.WriteTable2(stdout, *t2)
+	}
+	if want["table3"] {
+		section("Table 3")
+		experiments.WriteClusterTable(stdout, "Table 3: k-means variants vs k-AVG+ED (Rand Index)", t3.Baseline, t3.Rows, true)
+	}
+	if want["table4"] {
+		section("Table 4")
+		experiments.WriteClusterTable(stdout, "Table 4: non-scalable methods vs k-AVG+ED (Rand Index)", t4.Baseline, t4.Rows, false)
+	}
+	if want["fig2"] {
+		section("Figure 2")
+		experiments.WriteFig2(stdout, experiments.Fig2(cfg))
+	}
+	if want["fig3"] {
+		section("Figure 3")
+		experiments.WriteFig3(stdout, experiments.Fig3(cfg))
+	}
+	if want["fig4"] {
+		section("Figure 4")
+		experiments.WriteFig4(stdout, experiments.Fig4(cfg))
+	}
+	if want["fig5"] {
+		section("Figure 5")
+		f5 := experiments.Fig5(cfg, *t2)
+		experiments.WriteScatter(stdout, "Figure 5a: SBD vs ED (1-NN accuracy)", "ED", "SBD", f5.Names, f5.ED, f5.SBD)
+		experiments.WriteScatter(stdout, "Figure 5b: SBD vs DTW (1-NN accuracy)", "DTW", "SBD", f5.Names, f5.DTW, f5.SBD)
+		writeSVG("fig5a.svg", plot.Scatter("SBD vs ED (1-NN accuracy)", "ED", "SBD", f5.ED, f5.SBD, 0.3, 1.0))
+		writeSVG("fig5b.svg", plot.Scatter("SBD vs DTW (1-NN accuracy)", "DTW", "SBD", f5.DTW, f5.SBD, 0.3, 1.0))
+	}
+	if want["fig6"] {
+		section("Figure 6")
+		f6 := experiments.Fig6(cfg, *t2)
+		experiments.WriteRanks(stdout, "Figure 6: distance-measure average ranks (Friedman + Nemenyi)", f6)
+		writeSVG("fig6.svg", plot.CDRanks("Distance-measure ranks", f6.Names, f6.AvgRanks, f6.CD, f6.Groups))
+	}
+	if want["fig7"] {
+		section("Figure 7")
+		f7 := experiments.Fig7(cfg, *t3)
+		experiments.WriteScatter(stdout, "Figure 7a: k-Shape vs KSC (Rand Index)", "KSC", "k-Shape", f7.Names, f7.KSC, f7.KShape)
+		experiments.WriteScatter(stdout, "Figure 7b: k-Shape vs k-DBA (Rand Index)", "k-DBA", "k-Shape", f7.Names, f7.KDBA, f7.KShape)
+		writeSVG("fig7a.svg", plot.Scatter("k-Shape vs KSC (Rand Index)", "KSC", "k-Shape", f7.KSC, f7.KShape, 0.3, 1.0))
+		writeSVG("fig7b.svg", plot.Scatter("k-Shape vs k-DBA (Rand Index)", "k-DBA", "k-Shape", f7.KDBA, f7.KShape, 0.3, 1.0))
+	}
+	if want["fig8"] {
+		section("Figure 8")
+		f8 := experiments.Fig8(cfg, *t3)
+		experiments.WriteRanks(stdout, "Figure 8: k-means-variant average ranks (Friedman + Nemenyi)", f8)
+		writeSVG("fig8.svg", plot.CDRanks("k-means-variant ranks", f8.Names, f8.AvgRanks, f8.CD, f8.Groups))
+	}
+	if want["fig9"] {
+		section("Figure 9")
+		f9 := experiments.Fig9(cfg, *t3, *t4)
+		experiments.WriteRanks(stdout, "Figure 9: methods beating k-AVG+ED, average ranks (Friedman + Nemenyi)", f9)
+		writeSVG("fig9.svg", plot.CDRanks("Methods beating k-AVG+ED", f9.Names, f9.AvgRanks, f9.CD, f9.Groups))
+	}
+	if want["fig10"] {
+		section("Figure 10")
+		experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormOptimalScaling))
+	}
+	if want["fig11"] {
+		section("Figure 11")
+		experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormValues01))
+		experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormZScore))
+	}
+	if want["fig12"] {
+		section("Figure 12")
+		f12 := experiments.Fig12(cfg)
+		experiments.WriteFig12(stdout, f12)
+		if len(f12.VaryN) > 0 {
+			xs := make([]float64, len(f12.VaryN))
+			kshapeS := make([]float64, len(f12.VaryN))
+			kavgS := make([]float64, len(f12.VaryN))
+			for i, p := range f12.VaryN {
+				xs[i] = float64(p.N)
+				kshapeS[i] = p.KShapeSeconds
+				kavgS[i] = p.KAvgEDSeconds
+			}
+			writeSVG("fig12a.svg", plot.Lines("Runtime vs number of series (CBF)", "n", "seconds", xs,
+				map[string][]float64{"k-Shape": kshapeS, "k-AVG+ED": kavgS}))
+		}
+		if len(f12.VaryM) > 0 {
+			xs := make([]float64, len(f12.VaryM))
+			kshapeS := make([]float64, len(f12.VaryM))
+			kavgS := make([]float64, len(f12.VaryM))
+			for i, p := range f12.VaryM {
+				xs[i] = float64(p.M)
+				kshapeS[i] = p.KShapeSeconds
+				kavgS[i] = p.KAvgEDSeconds
+			}
+			writeSVG("fig12b.svg", plot.Lines("Runtime vs series length (CBF)", "m", "seconds", xs,
+				map[string][]float64{"k-Shape": kshapeS, "k-AVG+ED": kavgS}))
+		}
+	}
+	if want["ablations"] {
+		section("Ablations")
+		ab := experiments.Ablations(cfg)
+		experiments.WriteClusterTable(stdout,
+			"Design-choice ablations vs full k-Shape (Rand Index)", ab.Rows[0], ab.Rows, true)
+	}
+	if want["table2x"] {
+		section("Table 2 extended")
+		experiments.WriteTable2(stdout, experiments.Table2Extended(cfg))
+	}
+	if want["kestimation"] {
+		section("k estimation")
+		experiments.WriteKEstimation(stdout, experiments.KEstimation(cfg))
+	}
+	if want["datasets"] {
+		section("Datasets")
+		experiments.WriteDatasetInventory(stdout, experiments.Inventory(cfg))
+	}
+	fmt.Fprintf(stderr, "kbench finished in %v\n", time.Since(started).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFiles(t *testing.T) (train, test string) {
+	t.Helper()
+	dir := t.TempDir()
+	train = filepath.Join(dir, "train.csv")
+	test = filepath.Join(dir, "test.csv")
+	trainRows := []string{
+		"0,0,1,2,3,4,5,6,7",
+		"0,0,1,2,3,4,5,6,8",
+		"1,0,0,0,9,9,0,0,0",
+		"1,0,0,0,9,8,0,0,0",
+	}
+	testRows := []string{
+		"0,0,1,2,3,4,5,7,8",
+		"1,0,0,1,9,9,0,0,0",
+	}
+	if err := os.WriteFile(train, []byte(strings.Join(trainRows, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(test, []byte(strings.Join(testRows, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func TestRunClassifies(t *testing.T) {
+	train, test := writeFiles(t)
+	for _, measure := range []string{"ED", "SBD", "cDTW5"} {
+		var stdout, stderr bytes.Buffer
+		if err := run([]string{"-measure", measure, train, test}, &stdout, &stderr); err != nil {
+			t.Fatalf("%s: %v", measure, err)
+		}
+		if !strings.Contains(stderr.String(), "accuracy 1.0000") {
+			t.Errorf("%s: expected perfect accuracy on separable toy data; stderr: %q",
+				measure, stderr.String())
+		}
+		if !strings.HasPrefix(stdout.String(), "index,predicted,label") {
+			t.Errorf("missing CSV header")
+		}
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	train, test := writeFiles(t)
+	out := filepath.Join(t.TempDir(), "pred.csv")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-out", out, train, test}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil || !strings.Contains(string(data), "index,predicted") {
+		t.Errorf("predictions file: %v %q", err, string(data))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	train, test := writeFiles(t)
+	var out, errBuf bytes.Buffer
+	for _, args := range [][]string{
+		{train},                        // missing test file
+		{"-measure", "x", train, test}, // unknown measure
+		{"/missing", test},             // unreadable train
+		{train, "/missing"},            // unreadable test
+	} {
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

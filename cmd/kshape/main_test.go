@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeToyFile writes a tiny two-class UCR file and returns its path.
+func writeToyFile(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	// Two shape classes: a ramp and a spike, repeated with slight variants.
+	rows := []string{
+		"0,0,1,2,3,4,5,6,7",
+		"0,0,1,2,3,4,5,6,8",
+		"0,0,1,2,3,4,5,7,7",
+		"1,0,0,0,9,9,0,0,0",
+		"1,0,0,0,9,8,0,0,0",
+		"1,0,0,1,9,9,0,0,0",
+	}
+	sb.WriteString(strings.Join(rows, "\n"))
+	path := filepath.Join(t.TempDir(), "toy.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunClustersFile(t *testing.T) {
+	path := writeToyFile(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-k", "2", "-seed", "3", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "index,cluster,label") {
+		t.Errorf("missing CSV header: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 {
+		t.Errorf("lines = %d, want header + 6", len(lines))
+	}
+	if !strings.Contains(stderr.String(), "Rand Index") {
+		t.Errorf("labeled input should report Rand Index; stderr: %q", stderr.String())
+	}
+}
+
+func TestRunWritesOutputFiles(t *testing.T) {
+	path := writeToyFile(t)
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "assign.csv")
+	cenPath := filepath.Join(dir, "centroids.csv")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-k", "2", "-out", outPath, "-centroids", cenPath, path}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() != 0 {
+		t.Error("stdout should be empty when -out is set")
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil || !strings.HasPrefix(string(data), "index,cluster,label") {
+		t.Errorf("assignments file: %v, %q", err, string(data))
+	}
+	cen, err := os.ReadFile(cenPath)
+	if err != nil || len(strings.Split(strings.TrimSpace(string(cen)), "\n")) != 2 {
+		t.Errorf("centroids file: %v, %q", err, string(cen))
+	}
+}
+
+func TestRunMethodSelection(t *testing.T) {
+	path := writeToyFile(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-k", "2", "-method", "PAM+ED", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "PAM+ED") {
+		t.Errorf("stderr should name the method: %q", stderr.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeToyFile(t)
+	var out, errBuf bytes.Buffer
+	cases := [][]string{
+		{path},                            // missing -k
+		{"-k", "2"},                       // missing file
+		{"-k", "2", path, "extra"},        // too many args
+		{"-k", "2", "/does/not/exist"},    // unreadable file
+		{"-k", "2", "-method", "x", path}, // unknown method
+	}
+	for _, args := range cases {
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

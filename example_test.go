@@ -1,0 +1,83 @@
+package kshape_test
+
+import (
+	"fmt"
+	"math"
+
+	"kshape"
+)
+
+// wave builds a noiseless prototype of one of two shapes, shifted by s.
+func wave(shape, s int) []float64 {
+	const m = 32
+	x := make([]float64, m)
+	for i := range x {
+		t := 2 * math.Pi * float64(i+s) / m
+		if shape == 0 {
+			x[i] = math.Sin(t)
+		} else {
+			x[i] = math.Abs(math.Sin(t)) - 0.5
+		}
+	}
+	return x
+}
+
+func ExampleCluster() {
+	// Six series: two shape classes, three phases each.
+	data := [][]float64{
+		wave(0, 0), wave(0, 3), wave(0, 6),
+		wave(1, 0), wave(1, 3), wave(1, 6),
+	}
+	res, err := kshape.Cluster(data, 2, kshape.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("same cluster within class A:", res.Labels[0] == res.Labels[1] && res.Labels[1] == res.Labels[2])
+	fmt.Println("same cluster within class B:", res.Labels[3] == res.Labels[4] && res.Labels[4] == res.Labels[5])
+	fmt.Println("classes separated:", res.Labels[0] != res.Labels[3])
+	// Output:
+	// same cluster within class A: true
+	// same cluster within class B: true
+	// classes separated: true
+}
+
+func ExampleSBD() {
+	x := kshape.ZNormalize(wave(0, 0))
+	shifted := kshape.ZNormalize(wave(0, 5)) // same shape, out of phase
+	other := kshape.ZNormalize(wave(1, 0))   // different shape
+
+	dShift, _ := kshape.SBD(x, shifted)
+	dOther, _ := kshape.SBD(x, other)
+	fmt.Println("shifted copy stays close:", dShift < 0.2)
+	fmt.Println("different shape is farther:", dOther > dShift)
+	// Output:
+	// shifted copy stays close: true
+	// different shape is farther: true
+}
+
+func ExampleClassify1NN() {
+	train := [][]float64{wave(0, 0), wave(0, 2), wave(1, 0), wave(1, 2)}
+	labels := []int{0, 0, 1, 1}
+	queries := [][]float64{wave(0, 4), wave(1, 4)}
+	pred, err := kshape.Classify1NN(train, labels, queries, "SBD", false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(pred)
+	// Output:
+	// [0 1]
+}
+
+func ExampleEstimateK() {
+	var data [][]float64
+	for s := 0; s < 8; s++ {
+		data = append(data, wave(0, s), wave(1, s))
+	}
+	k, _, err := kshape.EstimateK(data, 5, kshape.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("estimated k:", k)
+	// Output:
+	// estimated k: 2
+}

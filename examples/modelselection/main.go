@@ -1,0 +1,67 @@
+// Model-selection example: choosing the number of clusters without labels.
+// The paper (footnote 2) notes that k can be estimated by varying it and
+// scoring each clustering with an intrinsic criterion; kshape.EstimateK
+// implements exactly that with the silhouette coefficient under SBD.
+//
+// Run with:
+//
+//	go run ./examples/modelselection
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kshape"
+)
+
+func main() {
+	// Generate data with a hidden number of shape classes.
+	const trueK = 4
+	rng := rand.New(rand.NewSource(9))
+	var data [][]float64
+	m := 80
+	for c := 0; c < trueK; c++ {
+		for i := 0; i < 20; i++ {
+			x := make([]float64, m)
+			phase := rng.Float64() * 0.5
+			for j := range x {
+				t := float64(j)/float64(m) + phase/10
+				switch c {
+				case 0:
+					x[j] = math.Sin(2 * math.Pi * 1 * t)
+				case 1:
+					x[j] = math.Sin(2 * math.Pi * 6 * t)
+				case 2:
+					if math.Mod(3*t, 1) < 0.5 {
+						x[j] = 1
+					} else {
+						x[j] = -1
+					}
+				default:
+					x[j] = math.Exp(-40 * (t - 0.5) * (t - 0.5))
+				}
+				x[j] += 0.1 * rng.NormFloat64()
+			}
+			data = append(data, x)
+		}
+	}
+
+	k, sil, err := kshape.EstimateK(data, 8, kshape.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("data generated with %d hidden shape classes\n", trueK)
+	fmt.Printf("estimated k = %d (best silhouette %.3f)\n", k, sil)
+
+	res, err := kshape.ClusterRestarts(data, k, 3, kshape.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	sizes := map[int]int{}
+	for _, l := range res.Labels {
+		sizes[l]++
+	}
+	fmt.Printf("cluster sizes at k=%d: %v\n", k, sizes)
+}

@@ -1,0 +1,3 @@
+module kshape
+
+go 1.22

@@ -1,0 +1,92 @@
+package avg
+
+import (
+	"math"
+
+	"kshape/internal/dist"
+)
+
+// DBAIterations is the number of barycenter refinement passes per Average
+// call. The original DBA paper iterates to convergence; in the k-means
+// context one refinement per clustering iteration suffices (the paper's
+// experimental setup refines centroids "once" per run, Section 4).
+const DBAIterations = 1
+
+// DBA computes the DTW Barycenter Average of a cluster (Petitjean et al.,
+// referenced as the most robust DTW averaging method in Section 2.5).
+// Starting from init (or the cluster medoid-ish first member when init is
+// nil/zero), each pass warps every member onto the current average with DTW
+// and re-estimates every coordinate as the barycenter of all member points
+// mapped to it.
+//
+// window is the Sakoe-Chiba half-width for the alignments (negative =
+// unconstrained), letting k-DBA use the same constraint as its assignment
+// step.
+func DBA(cluster [][]float64, init []float64, iterations, window int) []float64 {
+	if len(cluster) == 0 {
+		if init == nil {
+			return nil
+		}
+		return append([]float64(nil), init...)
+	}
+	m := len(cluster[0])
+	avg := make([]float64, m)
+	if init == nil || isAllZero(init) {
+		copy(avg, cluster[0])
+	} else {
+		copy(avg, init)
+	}
+	if iterations < 1 {
+		iterations = 1
+	}
+	sum := make([]float64, m)
+	count := make([]float64, m)
+	for it := 0; it < iterations; it++ {
+		for i := range sum {
+			sum[i] = 0
+			count[i] = 0
+		}
+		for _, x := range cluster {
+			path, _ := dist.WarpingPath(avg, x, window)
+			for _, p := range path {
+				sum[p[0]] += x[p[1]]
+				count[p[0]]++
+			}
+		}
+		changed := false
+		for i := range avg {
+			if count[i] == 0 {
+				continue // keep previous coordinate (cannot happen with a valid path)
+			}
+			next := sum[i] / count[i]
+			if math.Abs(next-avg[i]) > 1e-12 {
+				changed = true
+			}
+			avg[i] = next
+		}
+		if !changed {
+			break
+		}
+	}
+	return avg
+}
+
+// DBAAverager is the Averager wrapping DBA (used by k-DBA). Window is the
+// Sakoe-Chiba half-width (negative for unconstrained DTW, the k-DBA
+// default); Iterations is the refinement count per call.
+type DBAAverager struct {
+	Window     int
+	Iterations int
+}
+
+// Name implements Averager.
+func (DBAAverager) Name() string { return "DBA" }
+
+// Average implements Averager.
+func (a DBAAverager) Average(cluster [][]float64, ref []float64) []float64 {
+	iters := a.Iterations
+	if iters == 0 {
+		iters = DBAIterations
+	}
+	return DBA(cluster, ref, iters, a.Window)
+}

@@ -1,0 +1,137 @@
+// Package cluster implements every clustering baseline of the k-Shape
+// paper's evaluation (Section 4, Table 1): the scalable k-means family
+// (k-AVG+ED, k-AVG+SBD, k-AVG+DTW, k-DBA, KSC) and the non-scalable methods
+// that require a full dissimilarity matrix — PAM (k-medoids), agglomerative
+// hierarchical clustering with single/average/complete linkage, and
+// normalized spectral clustering — each combinable with ED, cDTW, or SBD.
+package cluster
+
+import (
+	"math/rand"
+
+	"kshape/internal/avg"
+	"kshape/internal/core"
+	"kshape/internal/dist"
+)
+
+// Clusterer partitions equal-length series into k clusters.
+type Clusterer interface {
+	// Name returns the identifier used in experiment tables
+	// (e.g. "k-AVG+ED", "PAM+cDTW", "H-S+SBD").
+	Name() string
+	// Cluster partitions data into k clusters. rng drives random
+	// initialization; deterministic methods ignore it.
+	Cluster(data [][]float64, k int, rng *rand.Rand) (*core.Result, error)
+	// Deterministic reports whether repeated runs with different seeds
+	// produce identical results (true for hierarchical clustering), which
+	// the experiment harness uses to decide how many runs to average.
+	Deterministic() bool
+}
+
+// kmeansVariant is a Lloyd-style clusterer with pluggable distance and
+// centroid computation — the template every scalable baseline shares.
+type kmeansVariant struct {
+	label    string
+	distance core.DistanceFunc
+	centroid core.CentroidFunc
+}
+
+// Name implements Clusterer.
+func (v kmeansVariant) Name() string { return v.label }
+
+// Deterministic implements Clusterer.
+func (v kmeansVariant) Deterministic() bool { return false }
+
+// Cluster implements Clusterer.
+func (v kmeansVariant) Cluster(data [][]float64, k int, rng *rand.Rand) (*core.Result, error) {
+	return core.Lloyd(data, core.Config{
+		K:        k,
+		Distance: v.distance,
+		Centroid: v.centroid,
+		Rand:     rng,
+	})
+}
+
+// NewKAvgED returns k-means with Euclidean distance and arithmetic-mean
+// centroids — the paper's robust scalable baseline, k-AVG+ED.
+func NewKAvgED() Clusterer {
+	return kmeansVariant{
+		label:    "k-AVG+ED",
+		distance: func(c, x []float64) float64 { return dist.ED(c, x) },
+		centroid: avg.MeanAverager{}.Average,
+	}
+}
+
+// NewKAvgSBD returns k-means with SBD assignment but arithmetic-mean
+// centroids (k-AVG+SBD in Table 3): a deliberately inadequate pairing that
+// shows replacing only the distance measure does not beat k-AVG+ED.
+func NewKAvgSBD() Clusterer {
+	return kmeansVariant{
+		label:    "k-AVG+SBD",
+		distance: func(c, x []float64) float64 { return dist.SBDDist(c, x) },
+		centroid: avg.MeanAverager{}.Average,
+	}
+}
+
+// NewKAvgDTW returns k-means with DTW assignment and arithmetic-mean
+// centroids (k-AVG+DTW in Table 3).
+func NewKAvgDTW() Clusterer {
+	return kmeansVariant{
+		label:    "k-AVG+DTW",
+		distance: func(c, x []float64) float64 { return dist.DTW(c, x) },
+		centroid: avg.MeanAverager{}.Average,
+	}
+}
+
+// NewKDBA returns the k-DBA baseline: DTW assignment with DBA centroid
+// refinement (Petitjean et al.), the most robust prior k-means adaptation
+// for DTW per Section 2.5.
+func NewKDBA() Clusterer {
+	a := avg.DBAAverager{Window: -1}
+	return kmeansVariant{
+		label:    "k-DBA",
+		distance: func(c, x []float64) float64 { return dist.DTW(c, x) },
+		centroid: a.Average,
+	}
+}
+
+// NewKSC returns the K-Spectral Centroid baseline (Yang & Leskovec): the
+// pairwise scale-and-shift distance with the matrix-decomposition centroid.
+func NewKSC() Clusterer {
+	return kmeansVariant{
+		label: "KSC",
+		distance: func(c, x []float64) float64 {
+			d, _ := avg.KSCDistance(x, c) // KSC distance normalizes by the data series
+			return d
+		},
+		centroid: avg.KSCCentroid,
+	}
+}
+
+// NewKShape returns the paper's k-Shape algorithm as a Clusterer, using the
+// optimized batched-FFT implementation (core.KShape), which produces
+// results identical to the generic Lloyd engine with SBD + shape
+// extraction.
+func NewKShape() Clusterer { return kshapeClusterer{} }
+
+type kshapeClusterer struct{}
+
+// Name implements Clusterer.
+func (kshapeClusterer) Name() string { return "k-Shape" }
+
+// Deterministic implements Clusterer.
+func (kshapeClusterer) Deterministic() bool { return false }
+
+// Cluster implements Clusterer.
+func (kshapeClusterer) Cluster(data [][]float64, k int, rng *rand.Rand) (*core.Result, error) {
+	return core.KShape(data, k, rng)
+}
+
+// NewKShapeDTW returns the k-Shape+DTW ablation of Table 3.
+func NewKShapeDTW() Clusterer {
+	return kmeansVariant{
+		label:    "k-Shape+DTW",
+		distance: func(c, x []float64) float64 { return dist.DTW(c, x) },
+		centroid: avg.ShapeExtraction,
+	}
+}

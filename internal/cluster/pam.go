@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kshape/internal/core"
+	"kshape/internal/dist"
+)
+
+// PAM is the Partitioning Around Medoids implementation of k-medoids
+// (Kaufman & Rousseeuw), the strongest non-scalable partitional baseline of
+// Table 4. It computes the full n×n dissimilarity matrix up front — the
+// scalability bottleneck the paper highlights — then alternates between
+// assigning every series to its nearest medoid and re-electing, within each
+// cluster, the member minimizing the summed dissimilarity to the others.
+//
+// Initial medoids are sampled uniformly without replacement, so repeated
+// runs average over initializations exactly like the k-means variants.
+type PAM struct {
+	Measure dist.Measure
+	// MaxIterations caps the alternation; 0 means core.DefaultMaxIterations.
+	MaxIterations int
+}
+
+// NewPAM returns PAM combined with the given distance measure
+// (PAM+ED / PAM+cDTW / PAM+SBD in Table 4).
+func NewPAM(m dist.Measure) *PAM { return &PAM{Measure: m} }
+
+// Name implements Clusterer.
+func (p *PAM) Name() string { return "PAM+" + p.Measure.Name() }
+
+// Deterministic implements Clusterer.
+func (p *PAM) Deterministic() bool { return false }
+
+// Cluster implements Clusterer.
+func (p *PAM) Cluster(data [][]float64, k int, rng *rand.Rand) (*core.Result, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, core.ErrNoData
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("%w: k=%d, n=%d", core.ErrBadK, k, n)
+	}
+	if rng == nil {
+		return nil, errors.New("cluster: PAM requires a random source")
+	}
+	d := dist.PairwiseMatrix(p.Measure, data)
+	return p.clusterWithMatrix(data, d, k, rng)
+}
+
+// ClusterWithMatrix runs PAM on a precomputed dissimilarity matrix, which
+// the experiment harness uses to share one matrix across runs.
+func (p *PAM) ClusterWithMatrix(data [][]float64, d [][]float64, k int, rng *rand.Rand) (*core.Result, error) {
+	if len(data) == 0 {
+		return nil, core.ErrNoData
+	}
+	if k < 1 || k > len(data) {
+		return nil, fmt.Errorf("%w: k=%d, n=%d", core.ErrBadK, k, len(data))
+	}
+	return p.clusterWithMatrix(data, d, k, rng)
+}
+
+func (p *PAM) clusterWithMatrix(data [][]float64, d [][]float64, k int, rng *rand.Rand) (*core.Result, error) {
+	n := len(data)
+	maxIter := p.MaxIterations
+	if maxIter <= 0 {
+		maxIter = core.DefaultMaxIterations
+	}
+	medoids := rng.Perm(n)[:k]
+	labels := make([]int, n)
+	prev := make([]int, n)
+	res := &core.Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		copy(prev, labels)
+		// Assignment: nearest medoid.
+		for i := 0; i < n; i++ {
+			best, bestJ := math.Inf(1), 0
+			for j, med := range medoids {
+				if dd := d[i][med]; dd < best {
+					best, bestJ = dd, j
+				}
+			}
+			labels[i] = bestJ
+		}
+		// Medoid update: the member minimizing within-cluster dissimilarity.
+		for j := range medoids {
+			bestCost, bestMed := math.Inf(1), medoids[j]
+			for cand := 0; cand < n; cand++ {
+				if labels[cand] != j {
+					continue
+				}
+				cost := 0.0
+				for i := 0; i < n; i++ {
+					if labels[i] == j {
+						cost += d[cand][i]
+					}
+				}
+				if cost < bestCost {
+					bestCost, bestMed = cost, cand
+				}
+			}
+			medoids[j] = bestMed
+		}
+		res.Iterations = iter + 1
+		if iter > 0 && equalInts(labels, prev) {
+			res.Converged = true
+			break
+		}
+	}
+	res.Labels = labels
+	res.Centroids = make([][]float64, k)
+	for j, med := range medoids {
+		res.Centroids[j] = append([]float64(nil), data[med]...)
+	}
+	for i, l := range labels {
+		dd := d[i][medoids[l]]
+		res.Inertia += dd * dd
+	}
+	return res, nil
+}
+
+func equalInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"kshape/internal/avg"
+	"kshape/internal/dist"
+	"kshape/internal/ts"
+)
+
+// twoClassShiftedData builds a dataset with two shape classes (sine vs
+// square-ish pulse), each member randomly shifted and noised — exactly the
+// out-of-phase regime k-Shape targets. Returns data and true labels.
+func twoClassShiftedData(nPerClass, m int, rng *rand.Rand) ([][]float64, []int) {
+	protoA := make([]float64, m)
+	protoB := make([]float64, m)
+	for i := range protoA {
+		protoA[i] = math.Sin(2 * math.Pi * float64(i) / float64(m))
+		if i > m/4 && i < m/2 {
+			protoB[i] = 1
+		}
+	}
+	var data [][]float64
+	var labels []int
+	for c, proto := range [][]float64{protoA, protoB} {
+		for i := 0; i < nPerClass; i++ {
+			s := rng.Intn(9) - 4
+			x := ts.Shift(proto, s)
+			for j := range x {
+				x[j] += 0.15 * rng.NormFloat64()
+			}
+			data = append(data, ts.ZNormalize(x))
+			labels = append(labels, c)
+		}
+	}
+	return data, labels
+}
+
+// clusterPurity is the fraction of points whose cluster's majority class
+// matches their own class.
+func clusterPurity(pred, truth []int, k int) float64 {
+	counts := make([]map[int]int, k)
+	for i := range counts {
+		counts[i] = map[int]int{}
+	}
+	for i, p := range pred {
+		counts[p][truth[i]]++
+	}
+	correct := 0
+	for _, c := range counts {
+		best := 0
+		for _, v := range c {
+			if v > best {
+				best = v
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+func TestKShapeSeparatesShapeClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data, truth := twoClassShiftedData(30, 64, rng)
+	res, err := KShape(data, 2, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := clusterPurity(res.Labels, truth, 2); p < 0.9 {
+		t.Errorf("purity = %v, want >= 0.9", p)
+	}
+	if len(res.Centroids) != 2 || len(res.Centroids[0]) != 64 {
+		t.Errorf("centroid shape wrong")
+	}
+}
+
+func TestKShapeConvergesAndReportsIterations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data, _ := twoClassShiftedData(20, 32, rng)
+	res, err := KShape(data, 2, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("expected convergence on small separable data")
+	}
+	if res.Iterations < 1 || res.Iterations > DefaultMaxIterations {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestKShapeDeterministicWithInitialLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data, _ := twoClassShiftedData(15, 32, rng)
+	init := make([]int, len(data))
+	for i := range init {
+		init[i] = i % 2
+	}
+	run := func() *Result {
+		res, err := Lloyd(data, Config{
+			K:             2,
+			Distance:      func(c, x []float64) float64 { return dist.SBDDist(c, x) },
+			Centroid:      avg.ShapeExtraction,
+			InitialLabels: init,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same initial labels produced different clusterings")
+		}
+	}
+}
+
+func TestLloydValidation(t *testing.T) {
+	good := Config{
+		K:        1,
+		Distance: func(c, x []float64) float64 { return dist.ED(c, x) },
+		Centroid: avg.MeanAverager{}.Average,
+		Rand:     rand.New(rand.NewSource(1)),
+	}
+	if _, err := Lloyd(nil, good); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty data: %v", err)
+	}
+	data := [][]float64{{1, 2}, {3, 4}}
+	bad := good
+	bad.K = 3
+	if _, err := Lloyd(data, bad); !errors.Is(err, ErrBadK) {
+		t.Errorf("k > n: %v", err)
+	}
+	bad = good
+	bad.K = 0
+	if _, err := Lloyd(data, bad); !errors.Is(err, ErrBadK) {
+		t.Errorf("k = 0: %v", err)
+	}
+	bad = good
+	bad.Distance = nil
+	if _, err := Lloyd(data, bad); err == nil {
+		t.Error("nil distance accepted")
+	}
+	bad = good
+	bad.Rand = nil
+	if _, err := Lloyd(data, bad); err == nil {
+		t.Error("nil rand without initial labels accepted")
+	}
+	bad = good
+	bad.InitialLabels = []int{0}
+	if _, err := Lloyd(data, bad); err == nil {
+		t.Error("short InitialLabels accepted")
+	}
+	bad = good
+	bad.InitialLabels = []int{0, 5}
+	if _, err := Lloyd(data, bad); err == nil {
+		t.Error("out-of-range InitialLabels accepted")
+	}
+	ragged := [][]float64{{1, 2}, {3}}
+	if _, err := Lloyd(ragged, good); err == nil {
+		t.Error("ragged data accepted")
+	}
+}
+
+func TestLloydKEqualsN(t *testing.T) {
+	data := [][]float64{
+		ts.ZNormalize([]float64{1, 2, 3, 4}),
+		ts.ZNormalize([]float64{4, 3, 2, 1}),
+		ts.ZNormalize([]float64{1, -1, 1, -1}),
+	}
+	res, err := KShape(data, 3, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range res.Labels {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("k=n should produce singleton clusters, got labels %v", res.Labels)
+	}
+}
+
+func TestLloydSingleCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data, _ := twoClassShiftedData(5, 16, rng)
+	res, err := KShape(data, 1, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.Labels {
+		if l != 0 {
+			t.Fatalf("labels = %v", res.Labels)
+		}
+	}
+	if !res.Converged {
+		t.Error("single cluster should converge immediately")
+	}
+}
+
+func TestLloydEmptyClusterReseeded(t *testing.T) {
+	// Force an initial assignment that starves cluster 2, and verify the
+	// engine keeps all clusters non-empty at termination.
+	rng := rand.New(rand.NewSource(9))
+	data, _ := twoClassShiftedData(10, 32, rng)
+	init := make([]int, len(data)) // everything in cluster 0
+	res, err := Lloyd(data, Config{
+		K:             3,
+		Distance:      func(c, x []float64) float64 { return dist.SBDDist(c, x) },
+		Centroid:      avg.ShapeExtraction,
+		InitialLabels: init,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	for _, l := range res.Labels {
+		counts[l]++
+	}
+	for j, c := range counts {
+		if c == 0 {
+			t.Errorf("cluster %d empty at termination", j)
+		}
+	}
+}
+
+func TestKShapeCentroidsZNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	data, _ := twoClassShiftedData(15, 32, rng)
+	res, err := KShape(data, 2, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range res.Centroids {
+		if !ts.IsZNormalized(c, 1e-6) {
+			t.Errorf("centroid %d not z-normalized", j)
+		}
+	}
+}
+
+func TestKShapeInertiaNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	data, _ := twoClassShiftedData(10, 32, rng)
+	res, err := KShape(data, 2, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia < 0 {
+		t.Errorf("inertia = %v", res.Inertia)
+	}
+}
+
+func TestKShapeDTWRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	data, _ := twoClassShiftedData(8, 24, rng)
+	res, err := KShapeDTW(data, 2, rand.New(rand.NewSource(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != len(data) {
+		t.Errorf("labels length %d", len(res.Labels))
+	}
+}
+
+func TestLloydMaxIterationsRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	data, _ := twoClassShiftedData(20, 32, rng)
+	res, err := Lloyd(data, Config{
+		K:             2,
+		MaxIterations: 1,
+		Distance:      func(c, x []float64) float64 { return dist.SBDDist(c, x) },
+		Centroid:      avg.ShapeExtraction,
+		Rand:          rand.New(rand.NewSource(17)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", res.Iterations)
+	}
+}
+
+func TestKShapeSpecializedMatchesGenericLloyd(t *testing.T) {
+	// The optimized batched-FFT implementation must reproduce the generic
+	// engine exactly for the same initial assignment.
+	rng := rand.New(rand.NewSource(20))
+	data, _ := twoClassShiftedData(15, 40, rng)
+	init := make([]int, len(data))
+	for i := range init {
+		init[i] = (i * 7) % 3
+	}
+	generic, err := Lloyd(data, Config{
+		K:             3,
+		Distance:      func(c, x []float64) float64 { return dist.SBDDist(c, x) },
+		Centroid:      avg.ShapeExtraction,
+		InitialLabels: init,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := KShapeInit(data, 3, nil, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Iterations != generic.Iterations || fast.Converged != generic.Converged {
+		t.Errorf("iteration trace differs: fast %d/%v vs generic %d/%v",
+			fast.Iterations, fast.Converged, generic.Iterations, generic.Converged)
+	}
+	for i := range generic.Labels {
+		if fast.Labels[i] != generic.Labels[i] {
+			t.Fatalf("labels diverge at %d: %d vs %d", i, fast.Labels[i], generic.Labels[i])
+		}
+	}
+	for j := range generic.Centroids {
+		for p := range generic.Centroids[j] {
+			if math.Abs(fast.Centroids[j][p]-generic.Centroids[j][p]) > 1e-9 {
+				t.Fatalf("centroid %d diverges at %d", j, p)
+			}
+		}
+	}
+}
+
+func TestKShapeInitValidation(t *testing.T) {
+	data := [][]float64{{1, 2, 3}, {3, 2, 1}}
+	if _, err := KShapeInit(data, 2, nil, nil); err == nil {
+		t.Error("nil rng and nil init accepted")
+	}
+	if _, err := KShapeInit(data, 2, nil, []int{0}); err == nil {
+		t.Error("short init accepted")
+	}
+	if _, err := KShapeInit(data, 2, nil, []int{0, 5}); err == nil {
+		t.Error("out-of-range init accepted")
+	}
+	if _, err := KShapeInit(nil, 1, nil, nil); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := KShapeInit(data, 9, nil, nil); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := KShapeInit([][]float64{{1, 2}, {1}}, 2, nil, []int{0, 1}); err == nil {
+		t.Error("ragged data accepted")
+	}
+}

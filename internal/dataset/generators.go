@@ -1,0 +1,266 @@
+// Package dataset provides the labeled time-series data substrate for the
+// experiments: deterministic synthetic generators covering the distortion
+// families of the paper's Section 2.2 (amplitude scaling, shift, warping,
+// noise, trends), a 48-dataset archive standing in for the UCR collection
+// (see DESIGN.md for the substitution rationale), the CBF generator used by
+// the scalability experiments of Appendix B, and a loader for real
+// UCR-format files.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ClassProto generates one raw (un-normalized, undistorted) instance of a
+// shape class. Prototypes may randomize internal parameters per instance
+// (as CBF does with its event boundaries).
+type ClassProto func(m int, rng *rand.Rand) []float64
+
+// --- basic waveform prototypes -------------------------------------------
+
+// SineProto returns a sine prototype with the given number of cycles and
+// phase (in radians).
+func SineProto(cycles, phase float64) ClassProto {
+	return func(m int, rng *rand.Rand) []float64 {
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = math.Sin(2*math.Pi*cycles*float64(i)/float64(m) + phase)
+		}
+		return x
+	}
+}
+
+// SquareProto returns a square wave with the given cycles.
+func SquareProto(cycles float64) ClassProto {
+	return func(m int, rng *rand.Rand) []float64 {
+		x := make([]float64, m)
+		for i := range x {
+			if math.Sin(2*math.Pi*cycles*float64(i)/float64(m)) >= 0 {
+				x[i] = 1
+			} else {
+				x[i] = -1
+			}
+		}
+		return x
+	}
+}
+
+// TriangleProto returns a triangle wave with the given cycles.
+func TriangleProto(cycles float64) ClassProto {
+	return func(m int, rng *rand.Rand) []float64 {
+		x := make([]float64, m)
+		for i := range x {
+			t := math.Mod(cycles*float64(i)/float64(m), 1)
+			if t < 0.5 {
+				x[i] = 4*t - 1
+			} else {
+				x[i] = 3 - 4*t
+			}
+		}
+		return x
+	}
+}
+
+// SawtoothProto returns a sawtooth wave with the given cycles.
+func SawtoothProto(cycles float64) ClassProto {
+	return func(m int, rng *rand.Rand) []float64 {
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = 2*math.Mod(cycles*float64(i)/float64(m), 1) - 1
+		}
+		return x
+	}
+}
+
+// ChirpProto returns a frequency sweep from f0 to f1 cycles across the
+// series.
+func ChirpProto(f0, f1 float64) ClassProto {
+	return func(m int, rng *rand.Rand) []float64 {
+		x := make([]float64, m)
+		// Analytic chirp phase: φ(t) = 2π(f0·t + (f1-f0)·t²/2), t ∈ [0, 1].
+		for i := range x {
+			t := float64(i) / float64(m)
+			x[i] = math.Sin(2 * math.Pi * (f0*t + (f1-f0)*t*t/2))
+		}
+		return x
+	}
+}
+
+// GaussProto returns a Gaussian bump centered at frac·m with width
+// widthFrac·m.
+func GaussProto(frac, widthFrac float64) ClassProto {
+	return func(m int, rng *rand.Rand) []float64 {
+		x := make([]float64, m)
+		c := frac * float64(m)
+		w := widthFrac * float64(m)
+		for i := range x {
+			d := (float64(i) - c) / w
+			x[i] = math.Exp(-d * d / 2)
+		}
+		return x
+	}
+}
+
+// DoubleGaussProto returns two Gaussian bumps, the second scaled by amp2.
+func DoubleGaussProto(frac1, frac2, widthFrac, amp2 float64) ClassProto {
+	g1 := GaussProto(frac1, widthFrac)
+	g2 := GaussProto(frac2, widthFrac)
+	return func(m int, rng *rand.Rand) []float64 {
+		a := g1(m, rng)
+		b := g2(m, rng)
+		for i := range a {
+			a[i] += amp2 * b[i]
+		}
+		return a
+	}
+}
+
+// StepProto returns a step from 0 to 1 at frac·m.
+func StepProto(frac float64) ClassProto {
+	return func(m int, rng *rand.Rand) []float64 {
+		x := make([]float64, m)
+		at := int(frac * float64(m))
+		for i := at; i < m; i++ {
+			x[i] = 1
+		}
+		return x
+	}
+}
+
+// TrendProto returns a linear trend with the given slope per series plus a
+// seasonal sine of the given cycles and amplitude.
+func TrendProto(slope, cycles, seasonAmp float64) ClassProto {
+	return func(m int, rng *rand.Rand) []float64 {
+		x := make([]float64, m)
+		for i := range x {
+			t := float64(i) / float64(m)
+			x[i] = slope*t + seasonAmp*math.Sin(2*math.Pi*cycles*t)
+		}
+		return x
+	}
+}
+
+// --- CBF (Cylinder-Bell-Funnel, Saito 1994) -------------------------------
+//
+// The classic synthetic benchmark used by the paper's Appendix B
+// scalability study. Each instance places an event on a random interval
+// [a, b] with random amplitude; the three classes differ in the event shape.
+
+// CBFCylinderProto is the plateau-shaped CBF class.
+func CBFCylinderProto() ClassProto {
+	return func(m int, rng *rand.Rand) []float64 {
+		return cbfInstance(m, rng, func(t, a, b float64) float64 { return 1 })
+	}
+}
+
+// CBFBellProto is the rising-ramp CBF class.
+func CBFBellProto() ClassProto {
+	return func(m int, rng *rand.Rand) []float64 {
+		return cbfInstance(m, rng, func(t, a, b float64) float64 { return (t - a) / (b - a) })
+	}
+}
+
+// CBFFunnelProto is the falling-ramp CBF class.
+func CBFFunnelProto() ClassProto {
+	return func(m int, rng *rand.Rand) []float64 {
+		return cbfInstance(m, rng, func(t, a, b float64) float64 { return (b - t) / (b - a) })
+	}
+}
+
+// cbfInstance builds one CBF series: (6+η)·shape(t)·1[a,b](t) + ε(t), with
+// a ~ U[m/8, m/4], b-a ~ U[m/4, 3m/4], matching Saito's construction scaled
+// to the series length.
+func cbfInstance(m int, rng *rand.Rand, shape func(t, a, b float64) float64) []float64 {
+	mf := float64(m)
+	a := mf/8 + rng.Float64()*mf/8
+	span := mf/4 + rng.Float64()*mf/2
+	b := a + span
+	if b > mf-1 {
+		b = mf - 1
+	}
+	amp := 6 + rng.NormFloat64()
+	x := make([]float64, m)
+	for i := range x {
+		t := float64(i)
+		if t >= a && t <= b {
+			x[i] = amp * shape(t, a, b)
+		}
+		x[i] += rng.NormFloat64()
+	}
+	return x
+}
+
+// --- ECGFiveDays-like prototypes (Figure 1) --------------------------------
+
+// ECGSharpProto mimics the paper's Class A: a sharp rise, a drop, then a
+// gradual increase.
+func ECGSharpProto() ClassProto {
+	return func(m int, rng *rand.Rand) []float64 {
+		x := make([]float64, m)
+		for i := range x {
+			t := float64(i) / float64(m)
+			switch {
+			case t < 0.15:
+				x[i] = t / 0.15 * 3 // sharp rise
+			case t < 0.3:
+				x[i] = 3 - (t-0.15)/0.15*4 // drop below baseline
+			default:
+				x[i] = -1 + (t-0.3)/0.7*1.8 // gradual increase
+			}
+		}
+		return x
+	}
+}
+
+// ECGGradualProto mimics Class B: a gradual increase, a drop, then another
+// gradual increase.
+func ECGGradualProto() ClassProto {
+	return func(m int, rng *rand.Rand) []float64 {
+		x := make([]float64, m)
+		for i := range x {
+			t := float64(i) / float64(m)
+			switch {
+			case t < 0.35:
+				x[i] = t / 0.35 * 2 // gradual increase
+			case t < 0.45:
+				x[i] = 2 - (t-0.35)/0.10*3 // drop
+			default:
+				x[i] = -1 + (t-0.45)/0.55*1.8 // gradual increase
+			}
+		}
+		return x
+	}
+}
+
+// --- distortions -----------------------------------------------------------
+
+// warp applies a smooth monotone time warping of strength frac (fraction of
+// the length moved at the extreme) with a random phase — the local
+// alignment distortion of Section 2.2.
+func warp(x []float64, frac float64, rng *rand.Rand) []float64 {
+	m := len(x)
+	if m == 0 || frac <= 0 {
+		return x
+	}
+	out := make([]float64, m)
+	phase := rng.Float64() * 2 * math.Pi
+	amp := frac * float64(m)
+	for i := range out {
+		pos := float64(i) + amp*math.Sin(2*math.Pi*float64(i)/float64(m)+phase)
+		if pos < 0 {
+			pos = 0
+		}
+		if pos > float64(m-1) {
+			pos = float64(m - 1)
+		}
+		lo := int(pos)
+		hi := lo
+		if lo < m-1 {
+			hi = lo + 1
+		}
+		fracPos := pos - float64(lo)
+		out[i] = x[lo]*(1-fracPos) + x[hi]*fracPos
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package dist implements the time-series distance measures evaluated in
+// the k-Shape paper (Sections 2.3 and 3.1): Euclidean distance (ED),
+// Dynamic Time Warping (DTW), constrained DTW with a Sakoe-Chiba band
+// (cDTW), the LB_Keogh lower bound used to prune 1-NN search, the
+// cross-correlation normalizations NCCb/NCCu/NCCc, and the shape-based
+// distance SBD with its three implementation variants from Table 2
+// (optimized FFT, FFT without power-of-two padding, and naive O(m²)).
+package dist
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Measure is a dissimilarity between two equal-length time series. A
+// smaller value means more similar; implementations define their own range
+// (e.g. SBD is in [0, 2], ED in [0, ∞)).
+type Measure interface {
+	// Name returns the short identifier used in experiment tables
+	// (e.g. "ED", "SBD", "cDTW5").
+	Name() string
+	// Distance returns the dissimilarity of x and y.
+	Distance(x, y []float64) float64
+}
+
+// Func adapts a plain function to the Measure interface.
+type Func struct {
+	Label string
+	Fn    func(x, y []float64) float64
+}
+
+// Name implements Measure.
+func (f Func) Name() string { return f.Label }
+
+// Distance implements Measure.
+func (f Func) Distance(x, y []float64) float64 { return f.Fn(x, y) }
+
+// PairwiseMatrix computes the full symmetric n×n dissimilarity matrix of
+// data under d, parallelized across CPUs. This is the matrix that
+// non-scalable methods (PAM, hierarchical, spectral) require as input —
+// the paper's main scalability critique of those methods.
+func PairwiseMatrix(d Measure, data [][]float64) [][]float64 {
+	n := len(data)
+	out := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range out {
+		out[i] = backing[i*n : (i+1)*n]
+	}
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	rowCh := make(chan int, n)
+	for i := 0; i < n; i++ {
+		rowCh <- i
+	}
+	close(rowCh)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rowCh {
+				for j := i + 1; j < n; j++ {
+					out[i][j] = d.Distance(data[i], data[j])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Mirror the upper triangle.
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			out[i][j] = out[j][i]
+		}
+	}
+	return out
+}

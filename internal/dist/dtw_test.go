@@ -1,0 +1,247 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSeries(m int, rng *rand.Rand) []float64 {
+	x := make([]float64, m)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// dtwNaive is a straightforward full-matrix DTW used to validate the
+// rolling-row implementation.
+func dtwNaive(x, y []float64, window int) float64 {
+	n, m := len(x), len(y)
+	const inf = math.MaxFloat64
+	w := window
+	if w < 0 {
+		w = n + m
+	}
+	c := make([][]float64, n+1)
+	for i := range c {
+		c[i] = make([]float64, m+1)
+		for j := range c[i] {
+			c[i][j] = inf
+		}
+	}
+	c[0][0] = 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if j < i-w || j > i+w {
+				continue
+			}
+			d := x[i-1] - y[j-1]
+			best := c[i-1][j-1]
+			if c[i-1][j] < best {
+				best = c[i-1][j]
+			}
+			if c[i][j-1] < best {
+				best = c[i][j-1]
+			}
+			c[i][j] = d*d + best
+		}
+	}
+	if c[n][m] >= inf {
+		return math.Inf(1)
+	}
+	return math.Sqrt(c[n][m])
+}
+
+func TestDTWIdentical(t *testing.T) {
+	x := []float64{1, 2, 3, 2, 1}
+	if d := DTW(x, x); d != 0 {
+		t.Errorf("DTW(x,x) = %v", d)
+	}
+}
+
+func TestDTWKnownValue(t *testing.T) {
+	// x = [0 1 2], y = [0 2]: optimal alignment (0-0)(1-2?)...
+	// DP: best warp aligns 0->0, 1->2 (cost 1), 2->2 (cost 0) => sqrt(1).
+	x := []float64{0, 1, 2}
+	y := []float64{0, 2}
+	if d := DTW(x, y); math.Abs(d-1) > 1e-12 {
+		t.Errorf("DTW = %v, want 1", d)
+	}
+}
+
+func TestDTWShiftToleranceVsED(t *testing.T) {
+	// A shifted spike: DTW should absorb the shift much better than ED.
+	m := 50
+	x := make([]float64, m)
+	y := make([]float64, m)
+	x[20] = 1
+	y[23] = 1
+	if DTW(x, y) >= ED(x, y) {
+		t.Errorf("DTW (%v) should beat ED (%v) on shifted spikes", DTW(x, y), ED(x, y))
+	}
+}
+
+func TestCDTWMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(40)
+		m := 5 + rng.Intn(40)
+		x := randSeries(n, rng)
+		y := randSeries(m, rng)
+		for _, w := range []int{-1, 0, 1, 3, 10, 100} {
+			got := CDTW(x, y, w)
+			want := dtwNaive(x, y, w)
+			if math.IsInf(want, 1) {
+				if !math.IsInf(got, 1) {
+					t.Fatalf("trial %d w=%d: got %v, want +Inf", trial, w, got)
+				}
+				continue
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d w=%d: CDTW = %v, naive = %v", trial, w, got, want)
+			}
+		}
+	}
+}
+
+func TestCDTWWindowMonotone(t *testing.T) {
+	// Wider windows can only reduce (or keep) the distance.
+	rng := rand.New(rand.NewSource(4))
+	x := randSeries(30, rng)
+	y := randSeries(30, rng)
+	prev := math.Inf(1)
+	for _, w := range []int{0, 1, 2, 4, 8, 16, 30} {
+		d := CDTW(x, y, w)
+		if d > prev+1e-9 {
+			t.Fatalf("window %d gave larger distance %v than smaller window's %v", w, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestCDTWZeroWindowEqualsED(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randSeries(25, rng)
+	y := randSeries(25, rng)
+	if got, want := CDTW(x, y, 0), ED(x, y); math.Abs(got-want) > 1e-9 {
+		t.Errorf("cDTW(w=0) = %v, ED = %v", got, want)
+	}
+}
+
+func TestCDTWUnreachableBand(t *testing.T) {
+	// Length difference larger than window: corners cannot connect.
+	if d := CDTW([]float64{1, 2, 3, 4, 5}, []float64{1}, 1); !math.IsInf(d, 1) {
+		t.Errorf("expected +Inf, got %v", d)
+	}
+}
+
+func TestDTWEmpty(t *testing.T) {
+	if d := DTW(nil, nil); d != 0 {
+		t.Errorf("DTW(nil,nil) = %v", d)
+	}
+	if d := DTW([]float64{1}, nil); !math.IsInf(d, 1) {
+		t.Errorf("DTW(x,nil) = %v, want +Inf", d)
+	}
+}
+
+func TestDTWLowerBoundedByCDTW(t *testing.T) {
+	// DTW (unconstrained) <= cDTW for any window.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		x := randSeries(32, rng)
+		y := randSeries(32, rng)
+		full := DTW(x, y)
+		for _, w := range []int{1, 3, 8} {
+			if c := CDTW(x, y, w); c < full-1e-9 {
+				t.Fatalf("cDTW(w=%d)=%v below unconstrained DTW=%v", w, c, full)
+			}
+		}
+	}
+}
+
+func TestWarpingPath(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{0, 1, 1, 2, 3}
+	path, d := WarpingPath(x, y, -1)
+	if d != 0 {
+		t.Errorf("distance along perfect warp = %v", d)
+	}
+	if len(path) == 0 {
+		t.Fatal("empty path")
+	}
+	// Path must start at (0,0), end at (n-1,m-1), and move by steps in
+	// {(1,0),(0,1),(1,1)}.
+	if path[0] != [2]int{0, 0} {
+		t.Errorf("path start = %v", path[0])
+	}
+	if path[len(path)-1] != [2]int{3, 4} {
+		t.Errorf("path end = %v", path[len(path)-1])
+	}
+	for k := 1; k < len(path); k++ {
+		di := path[k][0] - path[k-1][0]
+		dj := path[k][1] - path[k-1][1]
+		if di < 0 || dj < 0 || di > 1 || dj > 1 || (di == 0 && dj == 0) {
+			t.Fatalf("illegal step %v -> %v", path[k-1], path[k])
+		}
+	}
+}
+
+func TestWarpingPathDistanceMatchesCDTW(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		x := randSeries(20, rng)
+		y := randSeries(20, rng)
+		for _, w := range []int{2, 5, -1} {
+			_, dPath := WarpingPath(x, y, w)
+			d := CDTW(x, y, w)
+			if math.Abs(dPath-d) > 1e-9 {
+				t.Fatalf("path distance %v != cDTW %v (w=%d)", dPath, d, w)
+			}
+		}
+	}
+}
+
+func TestWarpingPathStaysInBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := randSeries(30, rng)
+	y := randSeries(30, rng)
+	w := 3
+	path, _ := WarpingPath(x, y, w)
+	for _, p := range path {
+		if abs(p[0]-p[1]) > w {
+			t.Fatalf("path cell %v outside Sakoe-Chiba band of width %d", p, w)
+		}
+	}
+}
+
+func TestCDTWMeasureWindows(t *testing.T) {
+	c5 := NewCDTWFrac("cDTW5", 0.05)
+	if w := c5.EffectiveWindow(100); w != 5 {
+		t.Errorf("cDTW5 window for m=100 = %d, want 5", w)
+	}
+	if w := c5.EffectiveWindow(10); w != 1 {
+		t.Errorf("cDTW5 window for m=10 = %d, want 1 (minimum)", w)
+	}
+	if c5.Name() != "cDTW5" {
+		t.Errorf("Name = %q", c5.Name())
+	}
+	fixed := CDTWMeasure{Window: 7}
+	if w := fixed.EffectiveWindow(1000); w != 7 {
+		t.Errorf("fixed window = %d", w)
+	}
+	if fixed.Name() != "cDTW(w=7)" {
+		t.Errorf("default name = %q", fixed.Name())
+	}
+}
+
+func TestDTWMeasureInterface(t *testing.T) {
+	var m Measure = DTWMeasure{}
+	if m.Name() != "DTW" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	x := []float64{1, 2, 3}
+	if got, want := m.Distance(x, x), 0.0; got != want {
+		t.Errorf("Distance = %v", got)
+	}
+}

@@ -1,0 +1,36 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// ED computes the Euclidean distance between equal-length series x and y
+// (Equation 3 of the paper). It panics on a length mismatch: callers are
+// expected to validate dataset shape once, not per comparison.
+func ED(x, y []float64) float64 {
+	return math.Sqrt(SquaredED(x, y))
+}
+
+// SquaredED returns the squared Euclidean distance, useful when only the
+// ordering matters (1-NN search, k-means objectives) as it skips the sqrt.
+func SquaredED(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("dist: ED length mismatch %d vs %d", len(x), len(y)))
+	}
+	s := 0.0
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// EDMeasure is the Measure for Euclidean distance.
+type EDMeasure struct{}
+
+// Name implements Measure.
+func (EDMeasure) Name() string { return "ED" }
+
+// Distance implements Measure.
+func (EDMeasure) Distance(x, y []float64) float64 { return ED(x, y) }

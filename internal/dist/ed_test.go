@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestED(t *testing.T) {
+	cases := []struct {
+		x, y []float64
+		want float64
+	}{
+		{[]float64{0, 0}, []float64{3, 4}, 5},
+		{[]float64{1, 2, 3}, []float64{1, 2, 3}, 0},
+		{[]float64{}, []float64{}, 0},
+		{[]float64{-1}, []float64{1}, 2},
+	}
+	for _, c := range cases {
+		if got := ED(c.x, c.y); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ED(%v, %v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestEDPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ED([]float64{1}, []float64{1, 2})
+}
+
+func TestEDMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() []float64 {
+		x := make([]float64, 20)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		return x
+	}
+	f := func(_ int) bool {
+		x, y, z := gen(), gen(), gen()
+		dxy, dyx := ED(x, y), ED(y, x)
+		if dxy != dyx { // symmetry
+			return false
+		}
+		if dxy < 0 { // non-negativity
+			return false
+		}
+		// Triangle inequality.
+		return ED(x, z) <= dxy+ED(y, z)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquaredEDConsistent(t *testing.T) {
+	x := []float64{1, 5, -2}
+	y := []float64{0, 3, 3}
+	if got, want := SquaredED(x, y), ED(x, y)*ED(x, y); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SquaredED = %v, ED² = %v", got, want)
+	}
+}
+
+func TestEDMeasureInterface(t *testing.T) {
+	var m Measure = EDMeasure{}
+	if m.Name() != "ED" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if d := m.Distance([]float64{0}, []float64{2}); d != 2 {
+		t.Errorf("Distance = %v", d)
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	m := Func{Label: "zero", Fn: func(x, y []float64) float64 { return 0 }}
+	if m.Name() != "zero" || m.Distance(nil, nil) != 0 {
+		t.Error("Func adapter broken")
+	}
+}
+
+func TestPairwiseMatrix(t *testing.T) {
+	data := [][]float64{{0, 0}, {3, 4}, {0, 1}}
+	m := PairwiseMatrix(EDMeasure{}, data)
+	if len(m) != 3 {
+		t.Fatalf("size = %d", len(m))
+	}
+	for i := 0; i < 3; i++ {
+		if m[i][i] != 0 {
+			t.Errorf("diagonal (%d) = %v", i, m[i][i])
+		}
+		for j := 0; j < 3; j++ {
+			if m[i][j] != m[j][i] {
+				t.Errorf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+	if math.Abs(m[0][1]-5) > 1e-12 {
+		t.Errorf("m[0][1] = %v, want 5", m[0][1])
+	}
+}
+
+func TestPairwiseMatrixSingle(t *testing.T) {
+	m := PairwiseMatrix(EDMeasure{}, [][]float64{{1, 2}})
+	if len(m) != 1 || m[0][0] != 0 {
+		t.Errorf("single-element matrix = %v", m)
+	}
+}

@@ -1,0 +1,226 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLCSSKnownValues(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1, 2, 3, 4}
+	if got := LCSS(x, y, 0.1, -1); got != 4 {
+		t.Errorf("LCSS(identical) = %d, want 4", got)
+	}
+	y = []float64{9, 1, 2, 9}
+	if got := LCSS(x, y, 0.1, -1); got != 2 {
+		t.Errorf("LCSS = %d, want 2 (subsequence 1,2)", got)
+	}
+	if got := LCSS(nil, y, 0.1, -1); got != 0 {
+		t.Errorf("LCSS(empty) = %d", got)
+	}
+}
+
+func TestLCSSWindowConstrains(t *testing.T) {
+	// Matches three positions off the diagonal are excluded by a tight
+	// window.
+	x := []float64{7, 8, 9, 1, 2, 3}
+	y := []float64{1, 2, 3, 7, 8, 9}
+	un := LCSS(x, y, 0.1, -1)
+	win := LCSS(x, y, 0.1, 1)
+	if un != 3 {
+		t.Errorf("unconstrained LCSS = %d, want 3", un)
+	}
+	if win != 0 {
+		t.Errorf("windowed LCSS = %d, want 0", win)
+	}
+}
+
+func TestLCSSDistanceRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		x := randSeries(20, rng)
+		y := randSeries(20, rng)
+		d := LCSSDistance(x, y, 0.5, -1)
+		if d < 0 || d > 1 {
+			t.Fatalf("LCSSDistance = %v outside [0, 1]", d)
+		}
+	}
+	if d := LCSSDistance(nil, nil, 0.5, -1); d != 0 {
+		t.Errorf("empty vs empty = %v", d)
+	}
+	if d := LCSSDistance(nil, []float64{1}, 0.5, -1); d != 1 {
+		t.Errorf("empty vs non-empty = %v", d)
+	}
+}
+
+func TestEDRKnownValues(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if got := EDR(x, x, 0.1); got != 0 {
+		t.Errorf("EDR(identical) = %d", got)
+	}
+	// One substitution.
+	if got := EDR(x, []float64{1, 9, 3}, 0.1); got != 1 {
+		t.Errorf("EDR one sub = %d, want 1", got)
+	}
+	// One insertion.
+	if got := EDR(x, []float64{1, 2, 2.5, 3}, 0.1); got != 1 {
+		t.Errorf("EDR one ins = %d, want 1", got)
+	}
+	// Degenerates to Levenshtein-style length for disjoint values.
+	if got := EDR([]float64{0, 0}, []float64{9, 9, 9}, 0.1); got != 3 {
+		t.Errorf("EDR disjoint = %d, want 3", got)
+	}
+}
+
+func TestERPProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randSeries(15, rng)
+	if d := ERP(x, x, 0); d != 0 {
+		t.Errorf("ERP(x,x) = %v", d)
+	}
+	// ERP is a metric: verify the triangle inequality on random triples.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randSeries(10, r), randSeries(10, r), randSeries(10, r)
+		dab, dbc, dac := ERP(a, b, 0), ERP(b, c, 0), ERP(a, c, 0)
+		return dac <= dab+dbc+1e-9 && math.Abs(ERP(a, b, 0)-ERP(b, a, 0)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestERPGapPenalty(t *testing.T) {
+	// Deleting one sample costs |value - g|.
+	x := []float64{5}
+	if d := ERP(x, nil, 0); d != 5 {
+		t.Errorf("ERP delete-all = %v, want 5", d)
+	}
+	if d := ERP(x, nil, 5); d != 0 {
+		t.Errorf("ERP with g=5 = %v, want 0", d)
+	}
+}
+
+func TestMSMProperties(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if d := MSM(x, x, 0.5); d != 0 {
+		t.Errorf("MSM(x,x) = %v", d)
+	}
+	// Symmetry and triangle inequality (MSM is a metric).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randSeries(8, r), randSeries(8, r), randSeries(8, r)
+		if math.Abs(MSM(a, b, 0.5)-MSM(b, a, 0.5)) > 1e-9 {
+			return false
+		}
+		return MSM(a, c, 0.5) <= MSM(a, b, 0.5)+MSM(b, c, 0.5)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	if d := MSM(nil, x, 0.5); !math.IsInf(d, 1) {
+		t.Errorf("MSM with one empty side = %v, want +Inf", d)
+	}
+	if d := MSM(nil, nil, 0.5); d != 0 {
+		t.Errorf("MSM(empty,empty) = %v", d)
+	}
+}
+
+func TestMSMMoveOnly(t *testing.T) {
+	// Same length, pointwise differences only: MSM cost = Σ|x−y| when no
+	// split/merge helps.
+	x := []float64{1, 2, 3}
+	y := []float64{1.5, 2.5, 3.5}
+	if d := MSM(x, y, 10); math.Abs(d-1.5) > 1e-9 {
+		t.Errorf("MSM move-only = %v, want 1.5", d)
+	}
+}
+
+func TestTWEDProperties(t *testing.T) {
+	x := []float64{1, 2, 3, 2}
+	if d := TWED(x, x, 1, 0.001); d != 0 {
+		t.Errorf("TWED(x,x) = %v", d)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSeries(8, r), randSeries(8, r)
+		dab, dba := TWED(a, b, 1, 0.01), TWED(b, a, 1, 0.01)
+		if math.Abs(dab-dba) > 1e-9 {
+			return false
+		}
+		return dab >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	if d := TWED(nil, x, 1, 0.01); !math.IsInf(d, 1) {
+		t.Errorf("TWED one empty side = %v", d)
+	}
+	if d := TWED(nil, nil, 1, 0.01); d != 0 {
+		t.Errorf("TWED(empty,empty) = %v", d)
+	}
+}
+
+func TestTWEDStiffnessMonotone(t *testing.T) {
+	// Larger nu penalizes warping more, so the distance cannot decrease.
+	rng := rand.New(rand.NewSource(3))
+	x := randSeries(20, rng)
+	y := randSeries(20, rng)
+	prev := -1.0
+	for _, nu := range []float64{0.0001, 0.001, 0.01, 0.1, 1} {
+		d := TWED(x, y, 1, nu)
+		if d < prev-1e-9 {
+			t.Fatalf("TWED decreased when nu grew to %v: %v < %v", nu, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestElasticMeasureAdapters(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randSeries(16, rng)
+	names := map[string]bool{}
+	for _, m := range ElasticMeasures() {
+		names[m.Name()] = true
+		if d := m.Distance(x, x); math.Abs(d) > 1e-9 {
+			t.Errorf("%s self-distance = %v", m.Name(), d)
+		}
+		y := randSeries(16, rng)
+		if d := m.Distance(x, y); d < 0 || math.IsNaN(d) {
+			t.Errorf("%s distance = %v", m.Name(), d)
+		}
+	}
+	for _, want := range []string{"LCSS", "EDR", "ERP", "MSM", "TWED"} {
+		if !names[want] {
+			t.Errorf("ElasticMeasures missing %s", want)
+		}
+	}
+}
+
+func TestElasticMeasuresSeparateShapeClasses(t *testing.T) {
+	// Each elastic measure should rank a same-class series closer than a
+	// different-class one on clean sine vs square data.
+	m := 32
+	sine := make([]float64, m)
+	sine2 := make([]float64, m)
+	square := make([]float64, m)
+	for i := range sine {
+		ph := 2 * math.Pi * float64(i) / float64(m)
+		sine[i] = math.Sin(2 * ph)
+		sine2[i] = math.Sin(2*ph + 0.2)
+		if math.Sin(2*ph) >= 0 {
+			square[i] = 1
+		} else {
+			square[i] = -1
+		}
+	}
+	for _, meas := range ElasticMeasures() {
+		same := meas.Distance(sine, sine2)
+		diff := meas.Distance(sine, square)
+		if same >= diff {
+			t.Errorf("%s: same-class %v not below cross-class %v", meas.Name(), same, diff)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// envelopeNaive is the quadratic reference implementation.
+func envelopeNaive(y []float64, window int) (upper, lower []float64) {
+	m := len(y)
+	upper = make([]float64, m)
+	lower = make([]float64, m)
+	for i := 0; i < m; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window
+		if hi > m-1 {
+			hi = m - 1
+		}
+		u, l := math.Inf(-1), math.Inf(1)
+		for j := lo; j <= hi; j++ {
+			if y[j] > u {
+				u = y[j]
+			}
+			if y[j] < l {
+				l = y[j]
+			}
+		}
+		upper[i], lower[i] = u, l
+	}
+	return upper, lower
+}
+
+func TestEnvelopeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, m := range []int{1, 2, 5, 31, 100} {
+		y := randSeries(m, rng)
+		for _, w := range []int{0, 1, 3, 10, m} {
+			gu, gl := Envelope(y, w)
+			wu, wl := envelopeNaive(y, w)
+			for i := 0; i < m; i++ {
+				if gu[i] != wu[i] || gl[i] != wl[i] {
+					t.Fatalf("m=%d w=%d i=%d: got (%v,%v), want (%v,%v)",
+						m, w, i, gu[i], gl[i], wu[i], wl[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEnvelopeEmpty(t *testing.T) {
+	u, l := Envelope(nil, 3)
+	if len(u) != 0 || len(l) != 0 {
+		t.Error("empty input should give empty envelopes")
+	}
+}
+
+func TestEnvelopeContainsSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	y := randSeries(64, rng)
+	u, l := Envelope(y, 5)
+	for i := range y {
+		if y[i] > u[i] || y[i] < l[i] {
+			t.Fatalf("series escapes envelope at %d: %v not in [%v, %v]", i, y[i], l[i], u[i])
+		}
+	}
+}
+
+func TestLBKeoghIsLowerBound(t *testing.T) {
+	// LB_Keogh(x, y) <= cDTW(x, y) — the correctness property that makes
+	// pruning sound (Table 2's _LB rows).
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		m := 40
+		x := randSeries(m, rng)
+		y := randSeries(m, rng)
+		for _, w := range []int{1, 4, 10} {
+			u, l := Envelope(y, w)
+			lb := LBKeogh(x, u, l)
+			d := CDTW(x, y, w)
+			if lb > d+1e-9 {
+				t.Fatalf("trial %d w=%d: LB_Keogh %v exceeds cDTW %v", trial, w, lb, d)
+			}
+		}
+	}
+}
+
+func TestLBKeoghZeroWhenInsideEnvelope(t *testing.T) {
+	y := []float64{0, 1, 2, 1, 0}
+	u, l := Envelope(y, 2)
+	if lb := LBKeogh(y, u, l); lb != 0 {
+		t.Errorf("LB_Keogh of y against its own envelope = %v", lb)
+	}
+}
+
+func TestNNIndex(t *testing.T) {
+	refs := [][]float64{{0, 0}, {5, 5}, {1, 1}}
+	idx, d := NNIndex(EDMeasure{}, []float64{0.9, 0.9}, refs)
+	if idx != 2 {
+		t.Errorf("NN index = %d, want 2", idx)
+	}
+	if math.Abs(d-ED([]float64{0.9, 0.9}, refs[2])) > 1e-12 {
+		t.Errorf("NN distance = %v", d)
+	}
+}
+
+func TestNNIndexEmptyRefs(t *testing.T) {
+	idx, d := NNIndex(EDMeasure{}, []float64{1}, nil)
+	if idx != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty refs: idx=%d d=%v", idx, d)
+	}
+}
+
+func TestLBNNSearcherAgreesWithLinearScan(t *testing.T) {
+	// The pruned search must return exactly the same nearest neighbor
+	// distance as brute force (index may differ only under exact ties).
+	rng := rand.New(rand.NewSource(13))
+	m, n := 32, 25
+	refs := make([][]float64, n)
+	for i := range refs {
+		refs[i] = randSeries(m, rng)
+	}
+	w := 3
+	searcher := NewLBNNSearcher(refs, w)
+	meas := CDTWMeasure{Window: w}
+	for q := 0; q < 20; q++ {
+		query := randSeries(m, rng)
+		gotIdx, gotD := searcher.NN(query)
+		wantIdx, wantD := NNIndex(meas, query, refs)
+		if math.Abs(gotD-wantD) > 1e-9 {
+			t.Fatalf("query %d: pruned NN distance %v (idx %d) != brute force %v (idx %d)",
+				q, gotD, gotIdx, wantD, wantIdx)
+		}
+	}
+	if searcher.Pruned == 0 {
+		t.Log("note: no candidates were pruned in this run (bound never exceeded best)")
+	}
+	if searcher.Evaluated == 0 {
+		t.Error("searcher performed no full evaluations")
+	}
+}
+
+func TestLBNNSearcherPrunesObviousCases(t *testing.T) {
+	// References far from the query except one: most should be pruned.
+	m := 64
+	refs := make([][]float64, 10)
+	for i := range refs {
+		refs[i] = make([]float64, m)
+		for j := range refs[i] {
+			refs[i][j] = 100 * float64(i+1)
+		}
+	}
+	query := make([]float64, m) // all zeros; nearest is refs[0]
+	s := NewLBNNSearcher(refs, 2)
+	idx, _ := s.NN(query)
+	if idx != 0 {
+		t.Errorf("NN idx = %d, want 0", idx)
+	}
+	if s.Pruned == 0 {
+		t.Error("expected pruning on well-separated references")
+	}
+}

@@ -1,0 +1,283 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kshape/internal/ts"
+)
+
+func TestNCCNormString(t *testing.T) {
+	if NCCb.String() != "NCCb" || NCCu.String() != "NCCu" || NCCc.String() != "NCCc" {
+		t.Error("NCCNorm names wrong")
+	}
+	if NCCNorm(99).String() != "NCCNorm(99)" {
+		t.Error("unknown norm string")
+	}
+}
+
+func TestNCCSequenceLength(t *testing.T) {
+	x := randSeries(100, rand.New(rand.NewSource(1)))
+	for _, norm := range []NCCNorm{NCCb, NCCu, NCCc} {
+		cc := NCCSequence(x, x, norm)
+		if len(cc) != 199 {
+			t.Errorf("%v: length %d, want 199", norm, len(cc))
+		}
+	}
+}
+
+func TestNCCcBounded(t *testing.T) {
+	// Coefficient normalization is a correlation: every entry in [-1, 1].
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		_ = rng
+		m := 8 + r.Intn(64)
+		x := randSeries(m, r)
+		y := randSeries(m, r)
+		for _, v := range NCCSequence(x, y, NCCc) {
+			if v < -1-1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNCCcSelfPeakAtZeroShift(t *testing.T) {
+	x := ts.ZNormalize(randSeries(128, rand.New(rand.NewSource(3))))
+	v, shift := MaxNCC(x, x, NCCc)
+	if math.Abs(v-1) > 1e-9 {
+		t.Errorf("self NCCc max = %v, want 1", v)
+	}
+	if shift != 0 {
+		t.Errorf("self shift = %d, want 0", shift)
+	}
+}
+
+func TestMaxNCCDetectsShift(t *testing.T) {
+	// y delayed by 7 relative to x: aligning needs y moved LEFT by 7, i.e.
+	// computing MaxNCC(x, y) must report shift -7 (y moves left), while
+	// MaxNCC(y, x) reports +7.
+	m := 64
+	rng := rand.New(rand.NewSource(4))
+	base := randSeries(m, rng)
+	x := ts.ZNormalize(base)
+	y := ts.ZNormalize(ts.Shift(base, 7))
+	_, shiftXY := MaxNCC(x, y, NCCc)
+	if shiftXY != -7 {
+		t.Errorf("shift(x, y-delayed) = %d, want -7", shiftXY)
+	}
+	_, shiftYX := MaxNCC(y, x, NCCc)
+	if shiftYX != 7 {
+		t.Errorf("shift(y-delayed, x) = %d, want 7", shiftYX)
+	}
+}
+
+func TestSBDRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		m := 4 + rng.Intn(100)
+		x := randSeries(m, rng)
+		y := randSeries(m, rng)
+		d, _ := SBD(x, y)
+		if d < -1e-9 || d > 2+1e-9 {
+			t.Fatalf("SBD = %v outside [0, 2]", d)
+		}
+	}
+}
+
+func TestSBDSelfZero(t *testing.T) {
+	x := randSeries(50, rand.New(rand.NewSource(6)))
+	d, aligned := SBD(x, x)
+	if math.Abs(d) > 1e-9 {
+		t.Errorf("SBD(x,x) = %v", d)
+	}
+	for i := range x {
+		if math.Abs(aligned[i]-x[i]) > 1e-12 {
+			t.Errorf("self-alignment moved the series at %d", i)
+			break
+		}
+	}
+}
+
+func TestSBDScaleInvarianceAfterZNorm(t *testing.T) {
+	// SBD on z-normalized inputs is invariant to amplitude scaling of the
+	// raw series — the scaling invariance of Section 2.2.
+	rng := rand.New(rand.NewSource(7))
+	raw := randSeries(80, rng)
+	x := ts.ZNormalize(raw)
+	scaled := make([]float64, len(raw))
+	for i, v := range raw {
+		scaled[i] = 42*v + 17
+	}
+	y := ts.ZNormalize(scaled)
+	d, _ := SBD(x, y)
+	if math.Abs(d) > 1e-9 {
+		t.Errorf("SBD after z-norm of a*x+b = %v, want 0", d)
+	}
+}
+
+func TestSBDShiftInvariance(t *testing.T) {
+	// A shifted copy should be nearly distance 0, with the aligned output
+	// matching the original where the supports overlap.
+	m := 128
+	rng := rand.New(rand.NewSource(8))
+	base := ts.ZNormalize(randSeries(m, rng))
+	shifted := ts.Shift(base, 10)
+	d, aligned := SBD(base, shifted)
+	if d > 0.12 {
+		t.Errorf("SBD to 10-shifted copy = %v, want small", d)
+	}
+	// aligned should shift `shifted` back left by 10.
+	mismatch := 0.0
+	for i := 0; i < m-10; i++ {
+		mismatch += math.Abs(aligned[i] - base[i])
+	}
+	if mismatch/float64(m-10) > 1e-6 {
+		t.Errorf("aligned sequence does not recover the original (avg |err| = %v)", mismatch/float64(m-10))
+	}
+}
+
+func TestSBDSymmetryOfValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		m := 8 + rng.Intn(64)
+		x := randSeries(m, rng)
+		y := randSeries(m, rng)
+		dxy, _ := SBD(x, y)
+		dyx, _ := SBD(y, x)
+		if math.Abs(dxy-dyx) > 1e-9 {
+			t.Fatalf("SBD not symmetric: %v vs %v", dxy, dyx)
+		}
+	}
+}
+
+func TestSBDVariantsAgree(t *testing.T) {
+	// All three implementation variants of Table 2 must produce identical
+	// distances (they differ only in speed).
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		m := 4 + rng.Intn(200)
+		x := randSeries(m, rng)
+		y := randSeries(m, rng)
+		d0, a0 := SBD(x, y)
+		d1, a1 := SBDNoPow2(x, y)
+		d2, a2 := SBDNoFFT(x, y)
+		if math.Abs(d0-d1) > 1e-7 || math.Abs(d0-d2) > 1e-7 {
+			t.Fatalf("m=%d: variant distances diverge: %v, %v, %v", m, d0, d1, d2)
+		}
+		for i := range a0 {
+			if math.Abs(a0[i]-a1[i]) > 1e-6 || math.Abs(a0[i]-a2[i]) > 1e-6 {
+				t.Fatalf("m=%d: aligned outputs diverge at %d", m, i)
+			}
+		}
+	}
+}
+
+func TestSBDDegenerateZeroSeries(t *testing.T) {
+	// A z-normalized constant is all zeros; SBD must stay defined (dist 1).
+	x := ts.ZNormalize([]float64{5, 5, 5, 5})
+	y := randSeries(4, rand.New(rand.NewSource(11)))
+	d, aligned := SBD(x, y)
+	if d != 1 {
+		t.Errorf("SBD with zero-energy input = %v, want 1", d)
+	}
+	if len(aligned) != 4 {
+		t.Errorf("aligned length = %d", len(aligned))
+	}
+	if d2, _ := SBD(x, x); d2 != 1 {
+		t.Errorf("SBD(0,0) = %v, want 1 by the degenerate-input convention", d2)
+	}
+}
+
+func TestSBDEmpty(t *testing.T) {
+	d, aligned := SBD(nil, nil)
+	if d != 0 || aligned != nil {
+		t.Errorf("SBD(nil,nil) = %v, %v", d, aligned)
+	}
+}
+
+func TestSBDPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SBD([]float64{1, 2}, []float64{1})
+}
+
+func TestSBDMeasures(t *testing.T) {
+	x := ts.ZNormalize(randSeries(32, rand.New(rand.NewSource(12))))
+	for _, m := range []Measure{SBDMeasure{}, SBDNoPow2Measure{}, SBDNoFFTMeasure{}} {
+		if d := m.Distance(x, x); math.Abs(d) > 1e-9 {
+			t.Errorf("%s self distance = %v", m.Name(), d)
+		}
+	}
+	if (SBDMeasure{}).Name() != "SBD" ||
+		(SBDNoPow2Measure{}).Name() != "SBDNoPow2" ||
+		(SBDNoFFTMeasure{}).Name() != "SBDNoFFT" {
+		t.Error("measure names wrong")
+	}
+}
+
+func TestNCCMeasure(t *testing.T) {
+	x := ts.ZNormalize(randSeries(32, rand.New(rand.NewSource(13))))
+	for _, norm := range []NCCNorm{NCCb, NCCu, NCCc} {
+		m := NCCMeasure{Norm: norm}
+		if m.Name() != norm.String() {
+			t.Errorf("Name = %q", m.Name())
+		}
+		// Self-dissimilarity should be minimal among random competitors.
+		self := m.Distance(x, x)
+		other := m.Distance(x, ts.ZNormalize(randSeries(32, rand.New(rand.NewSource(14)))))
+		if self >= other {
+			t.Errorf("%v: self distance %v not below other %v", norm, self, other)
+		}
+	}
+}
+
+func TestNCCuUnbiasedAtLargeLag(t *testing.T) {
+	// The unbiased estimator divides by the overlap, so a perfect match at
+	// a large lag is not attenuated. Construct x with a motif and y with the
+	// same motif at a lag; NCCu should rank the true lag above NCCb's pick
+	// when the overlap is small.
+	m := 64
+	x := make([]float64, m)
+	y := make([]float64, m)
+	for i := 0; i < 8; i++ {
+		x[i] = 1
+		y[m-8+i] = 1
+	}
+	ccb := NCCSequence(x, y, NCCb)
+	ccu := NCCSequence(x, y, NCCu)
+	// The motif match occurs at lag -(m-8).
+	lag := -(m - 8)
+	idx := lag + m - 1
+	if ccu[idx] <= ccb[idx] {
+		t.Errorf("NCCu (%v) should exceed NCCb (%v) at the low-overlap match", ccu[idx], ccb[idx])
+	}
+	if math.Abs(ccu[idx]-1) > 1e-9 {
+		t.Errorf("NCCu at perfect 8-sample overlap = %v, want 1 (8/8)", ccu[idx])
+	}
+}
+
+func TestNCCSequencePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NCCSequence([]float64{1}, []float64{1, 2}, NCCc)
+}
+
+func TestNCCSequenceEmptyInput(t *testing.T) {
+	if cc := NCCSequence(nil, nil, NCCc); cc != nil {
+		t.Errorf("empty input should give nil, got %v", cc)
+	}
+}

@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"kshape/internal/fft"
+	"kshape/internal/ts"
+)
+
+// SBDBatch precomputes the Fourier spectra of a fixed collection of
+// equal-length series so that repeated SBD computations against changing
+// queries (the k-Shape assignment and alignment steps, where the data is
+// fixed and only centroids move) need just one forward FFT per query and
+// one inverse FFT per pair, instead of three FFTs per pair.
+type SBDBatch struct {
+	m    int            // series length
+	l    int            // padded transform length (power of two >= 2m-1)
+	conj [][]complex128 // conj(FFT(x_i)), ready for the correlation product
+	norm []float64      // ‖x_i‖
+}
+
+// NewSBDBatch precomputes spectra for data. All series must share one
+// length; the slice contents are captured by value (later mutation of the
+// input arrays is not observed).
+func NewSBDBatch(data [][]float64) *SBDBatch {
+	if len(data) == 0 {
+		return &SBDBatch{}
+	}
+	m := len(data[0])
+	b := &SBDBatch{
+		m:    m,
+		l:    fft.NextPow2(2*m - 1),
+		conj: make([][]complex128, len(data)),
+		norm: make([]float64, len(data)),
+	}
+	for i, x := range data {
+		if len(x) != m {
+			panic(fmt.Sprintf("dist: SBDBatch length mismatch at %d: %d vs %d", i, len(x), m))
+		}
+		spec := fft.ForwardReal(x, b.l)
+		for k := range spec {
+			spec[k] = cmplx.Conj(spec[k])
+		}
+		b.conj[i] = spec
+		b.norm[i] = ts.Norm(x)
+	}
+	return b
+}
+
+// Len returns the number of series in the batch.
+func (b *SBDBatch) Len() int { return len(b.conj) }
+
+// SBDQuery holds the spectrum of one query series plus scratch buffers; it
+// is not safe for concurrent use, but queries are cheap to create.
+type SBDQuery struct {
+	batch   *SBDBatch
+	spec    []complex128
+	norm    float64
+	scratch []complex128
+}
+
+// Query prepares q (length m) for repeated distance computations against
+// the batch.
+func (b *SBDBatch) Query(q []float64) *SBDQuery {
+	if len(q) != b.m {
+		panic(fmt.Sprintf("dist: SBDBatch query length %d, want %d", len(q), b.m))
+	}
+	return &SBDQuery{
+		batch:   b,
+		spec:    fft.ForwardReal(q, b.l),
+		norm:    ts.Norm(q),
+		scratch: make([]complex128, b.l),
+	}
+}
+
+// Distance returns SBD(q, x_i) and the shift aligning x_i toward q
+// (aligned x_i = ts.Shift(x_i, shift)), exactly matching SBD/Algorithm 1.
+func (s *SBDQuery) Distance(i int) (dist float64, shift int) {
+	b := s.batch
+	m := b.m
+	den := s.norm * b.norm[i]
+	if den == 0 {
+		return 1, 0 // degenerate-input convention, as in SBD
+	}
+	for k, c := range b.conj[i] {
+		s.scratch[k] = s.spec[k] * c
+	}
+	fft.Inverse(s.scratch)
+	best, bestLag := math.Inf(-1), 0
+	for lag := -(m - 1); lag <= m-1; lag++ {
+		idx := lag
+		if idx < 0 {
+			idx += b.l
+		}
+		if v := real(s.scratch[idx]); v > best {
+			best, bestLag = v, lag
+		}
+	}
+	return 1 - best/den, bestLag
+}

@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"kshape/internal/dist"
+	"kshape/internal/ts"
+)
+
+// OneNNAccuracy evaluates a distance measure by 1-NN classification
+// (Section 4, "Metrics"): each test series is assigned the label of its
+// nearest training series under d, and the returned value is the fraction
+// classified correctly. Queries run in parallel across CPUs.
+func OneNNAccuracy(d dist.Measure, train, test []ts.Series) float64 {
+	if len(test) == 0 || len(train) == 0 {
+		return 0
+	}
+	refs := ts.Rows(train)
+	correct := classifyCount(func(q []float64) int {
+		idx, _ := dist.NNIndex(d, q, refs)
+		return train[idx].Label
+	}, test)
+	return float64(correct) / float64(len(test))
+}
+
+// OneNNAccuracyLB is OneNNAccuracy for cDTW with LB_Keogh pruning
+// (Table 2's "_LB" rows). window is the Sakoe-Chiba half-width.
+func OneNNAccuracyLB(window int, train, test []ts.Series) float64 {
+	if len(test) == 0 || len(train) == 0 {
+		return 0
+	}
+	refs := ts.Rows(train)
+	// Each worker needs its own searcher (it keeps mutable counters).
+	var mu sync.Mutex
+	searchers := []*dist.LBNNSearcher{}
+	pool := sync.Pool{New: func() any {
+		s := dist.NewLBNNSearcher(refs, window)
+		mu.Lock()
+		searchers = append(searchers, s)
+		mu.Unlock()
+		return s
+	}}
+	correct := classifyCount(func(q []float64) int {
+		s := pool.Get().(*dist.LBNNSearcher)
+		defer pool.Put(s)
+		idx, _ := s.NN(q)
+		return train[idx].Label
+	}, test)
+	return float64(correct) / float64(len(test))
+}
+
+// classifyCount runs classify over all test series in parallel and counts
+// correct predictions.
+func classifyCount(classify func(q []float64) int, test []ts.Series) int {
+	workers := runtime.NumCPU()
+	if workers > len(test) {
+		workers = len(test)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idxCh := make(chan int, len(test))
+	for i := range test {
+		idxCh <- i
+	}
+	close(idxCh)
+	var wg sync.WaitGroup
+	counts := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range idxCh {
+				if classify(test[i].Values) == test[i].Label {
+					counts[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// TuneCDTWWindow finds the cDTWopt warping window (Section 4, "Parameter
+// settings"): it scans half-widths from 0% to maxFrac of the series length
+// and returns the one maximizing leave-one-out 1-NN accuracy on the
+// training set, breaking ties toward the smaller (cheaper) window.
+func TuneCDTWWindow(train []ts.Series, maxFrac float64) (window int, looAccuracy float64) {
+	if len(train) < 2 {
+		return 0, 0
+	}
+	m := train[0].Len()
+	maxW := int(math.Round(maxFrac * float64(m)))
+	if maxW < 0 {
+		maxW = 0
+	}
+	bestW, bestAcc := 0, -1.0
+	for w := 0; w <= maxW; w++ {
+		acc := looAccuracyCDTW(train, w)
+		if acc > bestAcc {
+			bestAcc, bestW = acc, w
+		}
+	}
+	return bestW, bestAcc
+}
+
+// looAccuracyCDTW computes leave-one-out 1-NN accuracy on train under cDTW
+// with the given window.
+func looAccuracyCDTW(train []ts.Series, window int) float64 {
+	n := len(train)
+	correct := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	idxCh := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := range idxCh {
+				best, bestJ := math.Inf(1), -1
+				for j := 0; j < n; j++ {
+					if j == i {
+						continue
+					}
+					if d := dist.CDTW(train[i].Values, train[j].Values, window); d < best {
+						best, bestJ = d, j
+					}
+				}
+				if bestJ >= 0 && train[bestJ].Label == train[i].Label {
+					local++
+				}
+			}
+			mu.Lock()
+			correct += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return float64(correct) / float64(n)
+}

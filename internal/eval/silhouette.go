@@ -1,0 +1,67 @@
+package eval
+
+import "fmt"
+
+// Silhouette computes the mean silhouette coefficient of a clustering given
+// the full pairwise dissimilarity matrix: for each point, a is its mean
+// distance to its own cluster and b the smallest mean distance to another
+// cluster; the coefficient is (b-a)/max(a,b). Values near 1 indicate
+// compact, well-separated clusters.
+//
+// This is the intrinsic quality criterion the paper's footnote 2 refers to
+// for choosing k without a gold standard: sweep k and keep the silhouette
+// maximizer. Singleton clusters contribute 0, the standard convention.
+func Silhouette(d [][]float64, labels []int) float64 {
+	n := len(labels)
+	if len(d) != n {
+		panic(fmt.Sprintf("eval: Silhouette matrix size %d vs %d labels", len(d), n))
+	}
+	if n == 0 {
+		return 0
+	}
+	// Cluster sizes keyed by label value.
+	sizes := map[int]int{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	if len(sizes) < 2 {
+		return 0 // silhouette undefined for a single cluster
+	}
+	total := 0.0
+	sums := map[int]float64{}
+	for i := 0; i < n; i++ {
+		for l := range sums {
+			delete(sums, l)
+		}
+		for j := 0; j < n; j++ {
+			if j != i {
+				sums[labels[j]] += d[i][j]
+			}
+		}
+		own := labels[i]
+		if sizes[own] <= 1 {
+			continue // singleton: coefficient 0
+		}
+		a := sums[own] / float64(sizes[own]-1)
+		b := -1.0
+		for l, s := range sums {
+			if l == own {
+				continue
+			}
+			if mean := s / float64(sizes[l]); b < 0 || mean < b {
+				b = mean
+			}
+		}
+		if b < 0 {
+			continue
+		}
+		den := a
+		if b > den {
+			den = b
+		}
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n)
+}

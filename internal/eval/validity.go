@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// The indices in this file complement Silhouette as intrinsic clustering
+// quality criteria (the paper's footnote 2). They operate on the raw data
+// matrix under squared Euclidean geometry, the standard formulation.
+
+// DaviesBouldin computes the Davies-Bouldin index of a clustering: the mean
+// over clusters of the worst ratio (s_i + s_j) / d(c_i, c_j), where s is
+// the mean distance of members to their centroid. Lower is better.
+// Empty clusters are skipped; the index of a single non-empty cluster is 0.
+func DaviesBouldin(data [][]float64, labels []int, k int) float64 {
+	if len(data) != len(labels) {
+		panic(fmt.Sprintf("eval: DaviesBouldin %d rows vs %d labels", len(data), len(labels)))
+	}
+	centroids, scatter, live := clusterStats(data, labels, k)
+	if len(live) < 2 {
+		return 0
+	}
+	total := 0.0
+	for _, i := range live {
+		worst := 0.0
+		for _, j := range live {
+			if i == j {
+				continue
+			}
+			d := euclid(centroids[i], centroids[j])
+			if d == 0 {
+				continue
+			}
+			if r := (scatter[i] + scatter[j]) / d; r > worst {
+				worst = r
+			}
+		}
+		total += worst
+	}
+	return total / float64(len(live))
+}
+
+// CalinskiHarabasz computes the Calinski-Harabasz (variance ratio) index:
+// between-cluster dispersion over within-cluster dispersion, scaled by
+// (n-k)/(k-1). Higher is better. Returns 0 when undefined (k < 2, or zero
+// within-cluster dispersion).
+func CalinskiHarabasz(data [][]float64, labels []int, k int) float64 {
+	n := len(data)
+	if n != len(labels) {
+		panic(fmt.Sprintf("eval: CalinskiHarabasz %d rows vs %d labels", n, len(labels)))
+	}
+	if k < 2 || n <= k {
+		return 0
+	}
+	m := len(data[0])
+	grand := make([]float64, m)
+	for _, x := range data {
+		for t, v := range x {
+			grand[t] += v
+		}
+	}
+	for t := range grand {
+		grand[t] /= float64(n)
+	}
+	centroids, _, live := clusterStats(data, labels, k)
+	counts := make([]int, k)
+	for _, l := range labels {
+		counts[l]++
+	}
+	between, within := 0.0, 0.0
+	for _, j := range live {
+		d := euclid(centroids[j], grand)
+		between += float64(counts[j]) * d * d
+	}
+	for i, x := range data {
+		d := euclid(x, centroids[labels[i]])
+		within += d * d
+	}
+	if within == 0 {
+		return 0
+	}
+	return (between / float64(k-1)) / (within / float64(n-k))
+}
+
+// clusterStats returns per-cluster centroids, mean member-to-centroid
+// distances, and the list of non-empty cluster indices.
+func clusterStats(data [][]float64, labels []int, k int) (centroids [][]float64, scatter []float64, live []int) {
+	if len(data) == 0 {
+		return nil, nil, nil
+	}
+	m := len(data[0])
+	centroids = make([][]float64, k)
+	counts := make([]int, k)
+	for j := range centroids {
+		centroids[j] = make([]float64, m)
+	}
+	for i, x := range data {
+		l := labels[i]
+		counts[l]++
+		for t, v := range x {
+			centroids[l][t] += v
+		}
+	}
+	for j := range centroids {
+		if counts[j] > 0 {
+			for t := range centroids[j] {
+				centroids[j][t] /= float64(counts[j])
+			}
+			live = append(live, j)
+		}
+	}
+	scatter = make([]float64, k)
+	for i, x := range data {
+		scatter[labels[i]] += euclid(x, centroids[labels[i]])
+	}
+	for j := range scatter {
+		if counts[j] > 0 {
+			scatter[j] /= float64(counts[j])
+		}
+	}
+	return centroids, scatter, live
+}
+
+func euclid(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"time"
+
+	"kshape/internal/dist"
+	"kshape/internal/eval"
+	"kshape/internal/stats"
+)
+
+// Table2Extended compares SBD and ED against the wider elastic-measure
+// family (LCSS, EDR, ERP, MSM, TWED) from the comparative studies the
+// paper's Section 2.3 builds on. The paper itself restricts Table 2 to
+// ED/DTW/cDTW because those studies found them dominant; this experiment
+// verifies that conclusion holds on the synthetic archive too.
+func Table2Extended(cfg Config) Table2Result {
+	measures := []dist.Measure{dist.EDMeasure{}, dist.SBDMeasure{}}
+	measures = append(measures, dist.ElasticMeasures()...)
+	rows := make([]DistanceRow, len(measures))
+	for r, m := range measures {
+		accs := make([]float64, len(cfg.Datasets))
+		start := time.Now()
+		for i, ds := range cfg.Datasets {
+			accs[i] = eval.OneNNAccuracy(m, ds.Train, ds.Test)
+		}
+		rows[r] = DistanceRow{Name: m.Name(), Accuracies: accs, Runtime: time.Since(start)}
+		cfg.progressf("table2x: %s done in %v (avg acc %.3f)", m.Name(), rows[r].Runtime, Mean(accs))
+	}
+	ed := rows[0]
+	for r := range rows {
+		rows[r].AvgAccuracy = Mean(rows[r].Accuracies)
+		rows[r].Greater, rows[r].Equal, rows[r].Less = CompareCounts(rows[r].Accuracies, ed.Accuracies)
+		rows[r].Better = stats.SignificantlyBetter(rows[r].Accuracies, ed.Accuracies, 0.99)
+		if ed.Runtime > 0 {
+			rows[r].RuntimeRatio = float64(rows[r].Runtime) / float64(ed.Runtime)
+		}
+	}
+	return Table2Result{Rows: rows}
+}

@@ -1,0 +1,281 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Power-iteration parameters. Shape extraction tolerates loose eigenvector
+// accuracy (the centroid is refined every k-Shape iteration anyway), but we
+// keep the tolerance tight enough for the unit tests that compare against
+// the full decomposition.
+const (
+	powerMaxIter = 1000
+	powerTol     = 1e-10
+)
+
+// DominantEigen returns the eigenvalue of largest magnitude and a
+// corresponding unit eigenvector of s, computed by power iteration with a
+// deterministic start vector. For PSD matrices (the shape-extraction M) this
+// is the largest eigenvalue, i.e. the Rayleigh-quotient maximizer of
+// Equation 15.
+//
+// The start vector is the matrix row of largest norm, falling back to e1,
+// which avoids the pathological case of starting orthogonal to the dominant
+// eigenspace while keeping the routine deterministic.
+func DominantEigen(s *Sym) (float64, []float64) {
+	n := s.N
+	v := make([]float64, n)
+	// Seed with the largest row, which always has a component along the
+	// dominant eigenvector unless the matrix is zero.
+	bestNorm := -1.0
+	for i := 0; i < n; i++ {
+		nrm := 0.0
+		for _, x := range s.Row(i) {
+			nrm += x * x
+		}
+		if nrm > bestNorm {
+			bestNorm = nrm
+			copy(v, s.Row(i))
+		}
+	}
+	if bestNorm <= 0 {
+		// Zero matrix: any unit vector is an eigenvector with eigenvalue 0.
+		v[0] = 1
+		return 0, v
+	}
+	normalize(v)
+	next := make([]float64, n)
+	lambda := 0.0
+	for iter := 0; iter < powerMaxIter; iter++ {
+		s.MulVec(next, v)
+		newLambda := dot(v, next)
+		if normalize(next) == 0 {
+			// v is in the null space; eigenvalue 0.
+			return 0, v
+		}
+		// Convergence on both the eigenvalue and the direction (the angle
+		// between successive unit iterates, sign-insensitive).
+		align := math.Abs(dot(v, next))
+		v, next = next, v
+		if math.Abs(newLambda-lambda) <= powerTol*(math.Abs(newLambda)+1) && 1-align <= powerTol {
+			lambda = newLambda
+			break
+		}
+		lambda = newLambda
+	}
+	return lambda, v
+}
+
+// SmallestEigen returns the smallest eigenvalue and a corresponding unit
+// eigenvector of symmetric s. This is what the KSC centroid computation
+// needs (the minimizer of the normalized residual). Spectral shifts plus
+// power iteration converge too slowly when the bottom eigenvalues cluster,
+// so we use the full tridiagonal decomposition: the matrices involved are
+// m×m for time-series length m, which is small by the paper's own argument
+// (m ≪ n).
+func SmallestEigen(s *Sym) (float64, []float64) {
+	vals, vecs := EigenDecompose(s)
+	return vals[0], vecs[0]
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// EigenDecompose computes the full eigendecomposition of symmetric s,
+// returning eigenvalues in ascending order with matching unit eigenvectors
+// (vecs[i] pairs with vals[i]). It uses Householder tridiagonalization
+// followed by the implicit-shift QL algorithm — the classic tred2/tql2
+// pair — which is O(n³) with a small constant and numerically robust.
+func EigenDecompose(s *Sym) (vals []float64, vecs [][]float64) {
+	n := s.N
+	a := make([][]float64, n) // working copy; becomes the eigenvector matrix
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		copy(a[i], s.Row(i))
+	}
+	d := make([]float64, n) // diagonal
+	e := make([]float64, n) // off-diagonal
+	tred2(a, d, e)
+	if err := tql2(a, d, e); err != nil {
+		panic(err)
+	}
+	// tql2 leaves eigenvalues in d (ascending after our sort) and
+	// eigenvectors in columns of a.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort ascending by eigenvalue.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && d[idx[j]] < d[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	vals = make([]float64, n)
+	vecs = make([][]float64, n)
+	for r, k := range idx {
+		vals[r] = d[k]
+		v := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v[i] = a[i][k]
+		}
+		vecs[r] = v
+	}
+	return vals, vecs
+}
+
+// tred2 reduces a real symmetric matrix (in a) to tridiagonal form using
+// Householder reflections, accumulating the orthogonal transformation in a.
+// On return d holds the diagonal and e the subdiagonal (e[0] unused).
+// Adapted from the EISPACK routine TRED2.
+func tred2(a [][]float64, d, e []float64) {
+	n := len(a)
+	for i := n - 1; i > 0; i-- {
+		l := i - 1
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(a[i][k])
+			}
+			if scale == 0 {
+				e[i] = a[i][l]
+			} else {
+				for k := 0; k <= l; k++ {
+					a[i][k] /= scale
+					h += a[i][k] * a[i][k]
+				}
+				f := a[i][l]
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				a[i][l] = f - g
+				f = 0.0
+				for j := 0; j <= l; j++ {
+					a[j][i] = a[i][j] / h
+					g = 0.0
+					for k := 0; k <= j; k++ {
+						g += a[j][k] * a[i][k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += a[k][j] * a[i][k]
+					}
+					e[j] = g / h
+					f += e[j] * a[i][j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = a[i][j]
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						a[j][k] -= f*e[k] + g*a[i][k]
+					}
+				}
+			}
+		} else {
+			e[i] = a[i][l]
+		}
+		d[i] = h
+	}
+	d[0] = 0.0
+	e[0] = 0.0
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				g := 0.0
+				for k := 0; k <= l; k++ {
+					g += a[i][k] * a[k][j]
+				}
+				for k := 0; k <= l; k++ {
+					a[k][j] -= g * a[k][i]
+				}
+			}
+		}
+		d[i] = a[i][i]
+		a[i][i] = 1.0
+		for j := 0; j <= l; j++ {
+			a[j][i] = 0.0
+			a[i][j] = 0.0
+		}
+	}
+}
+
+// tql2 finds the eigenvalues and eigenvectors of a symmetric tridiagonal
+// matrix by the implicit-shift QL method, accumulating eigenvectors into a
+// (which must hold the tred2 transformation on entry). Adapted from the
+// EISPACK routine TQL2.
+func tql2(a [][]float64, d, e []float64) error {
+	n := len(a)
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0.0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= math.SmallestNonzeroFloat64*dd || math.Abs(e[m]) <= 1e-15*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 50 {
+				return fmt.Errorf("linalg: tql2 failed to converge at eigenvalue %d", l)
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			sg := r
+			if g < 0 {
+				sg = -r
+			}
+			g = d[m] - d[l] + e[l]/(g+sg)
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < n; k++ {
+					f = a[k][i+1]
+					a[k][i+1] = s*a[k][i] + c*f
+					a[k][i] = c*a[k][i] - s*f
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}

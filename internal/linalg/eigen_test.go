@@ -1,0 +1,311 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randPSD builds a random PSD matrix A = BᵀB of size n.
+func randPSD(n int, rng *rand.Rand) *Sym {
+	s := NewSym(n)
+	rows := n + 3
+	for r := 0; r < rows; r++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		s.GramAddOuter(x)
+	}
+	return s
+}
+
+// randSym builds a random symmetric (not necessarily PSD) matrix.
+func randSym(n int, rng *rand.Rand) *Sym {
+	s := NewSym(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			s.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return s
+}
+
+func residual(s *Sym, lambda float64, v []float64) float64 {
+	n := s.N
+	tmp := make([]float64, n)
+	s.MulVec(tmp, v)
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		r := math.Abs(tmp[i] - lambda*v[i])
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func TestSymSetAt(t *testing.T) {
+	s := NewSym(3)
+	s.Set(0, 2, 5)
+	if s.At(0, 2) != 5 || s.At(2, 0) != 5 {
+		t.Error("Set did not preserve symmetry")
+	}
+}
+
+func TestNewSymPanicsOnBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSym(0)
+}
+
+func TestMulVec(t *testing.T) {
+	s := NewSym(2)
+	s.Set(0, 0, 1)
+	s.Set(0, 1, 2)
+	s.Set(1, 1, 3)
+	dst := make([]float64, 2)
+	s.MulVec(dst, []float64{1, 1})
+	if dst[0] != 3 || dst[1] != 5 {
+		t.Errorf("MulVec = %v, want [3 5]", dst)
+	}
+}
+
+func TestGramAddOuter(t *testing.T) {
+	s := NewSym(2)
+	s.GramAddOuter([]float64{1, 2})
+	s.GramAddOuter([]float64{3, -1})
+	// Expected: [1 2; 2 4] + [9 -3; -3 1] = [10 -1; -1 5]
+	want := [][]float64{{10, -1}, {-1, 5}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(s.At(i, j)-want[i][j]) > 1e-12 {
+				t.Fatalf("Gram(%d,%d) = %v, want %v", i, j, s.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestDominantEigenKnownMatrix(t *testing.T) {
+	// [[2 1][1 2]] has eigenvalues 3 (v = [1 1]/√2) and 1.
+	s := NewSym(2)
+	s.Set(0, 0, 2)
+	s.Set(0, 1, 1)
+	s.Set(1, 1, 2)
+	lambda, v := DominantEigen(s)
+	if math.Abs(lambda-3) > 1e-8 {
+		t.Errorf("dominant eigenvalue = %v, want 3", lambda)
+	}
+	if math.Abs(math.Abs(v[0])-math.Sqrt(0.5)) > 1e-6 || math.Abs(v[0]-v[1]) > 1e-6 {
+		t.Errorf("dominant eigenvector = %v, want ±[0.707 0.707]", v)
+	}
+}
+
+func TestDominantEigenZeroMatrix(t *testing.T) {
+	s := NewSym(4)
+	lambda, v := DominantEigen(s)
+	if lambda != 0 {
+		t.Errorf("eigenvalue of zero matrix = %v", lambda)
+	}
+	nrm := 0.0
+	for _, x := range v {
+		nrm += x * x
+	}
+	if math.Abs(nrm-1) > 1e-12 {
+		t.Errorf("eigenvector not unit norm: %v", v)
+	}
+}
+
+func TestDominantEigenResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 5, 16, 40} {
+		s := randPSD(n, rng)
+		lambda, v := DominantEigen(s)
+		if lambda < 0 {
+			t.Errorf("n=%d: PSD matrix produced negative dominant eigenvalue %v", n, lambda)
+		}
+		if r := residual(s, lambda, v); r > 1e-5*(math.Abs(lambda)+1) {
+			t.Errorf("n=%d: residual %v too large for lambda=%v", n, r, lambda)
+		}
+	}
+}
+
+func TestDominantMatchesFullDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		s := randPSD(8, rng)
+		lp, _ := DominantEigen(s)
+		vals, _ := EigenDecompose(s)
+		lf := vals[len(vals)-1]
+		if math.Abs(lp-lf) > 1e-6*(math.Abs(lf)+1) {
+			t.Errorf("trial %d: power iteration %v vs full decomposition %v", trial, lp, lf)
+		}
+	}
+}
+
+func TestSmallestEigen(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		s := randPSD(10, rng)
+		lmin, v := SmallestEigen(s)
+		vals, _ := EigenDecompose(s)
+		if math.Abs(lmin-vals[0]) > 1e-5*(math.Abs(vals[0])+1) {
+			t.Errorf("trial %d: smallest %v, want %v", trial, lmin, vals[0])
+		}
+		if r := residual(s, lmin, v); r > 1e-4*(math.Abs(lmin)+1) {
+			t.Errorf("trial %d: residual %v", trial, r)
+		}
+	}
+}
+
+func TestEigenDecomposeReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 3, 7, 20} {
+		s := randSym(n, rng)
+		vals, vecs := EigenDecompose(s)
+		// Ascending order.
+		for i := 1; i < n; i++ {
+			if vals[i] < vals[i-1] {
+				t.Fatalf("n=%d: eigenvalues not ascending: %v", n, vals)
+			}
+		}
+		// Each pair satisfies S v = λ v.
+		for i := 0; i < n; i++ {
+			if r := residual(s, vals[i], vecs[i]); r > 1e-8*(math.Abs(vals[i])+1) {
+				t.Errorf("n=%d: eigenpair %d residual %v", n, i, r)
+			}
+		}
+		// Orthonormal eigenvectors.
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				d := dot(vecs[i], vecs[j])
+				want := 0.0
+				if i == j {
+					want = 1.0
+				}
+				if math.Abs(d-want) > 1e-8 {
+					t.Errorf("n=%d: <v%d,v%d> = %v, want %v", n, i, j, d, want)
+				}
+			}
+		}
+		// Trace equals sum of eigenvalues.
+		tr, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			tr += s.At(i, i)
+			sum += vals[i]
+		}
+		if math.Abs(tr-sum) > 1e-8*(math.Abs(tr)+1) {
+			t.Errorf("n=%d: trace %v != eigenvalue sum %v", n, tr, sum)
+		}
+	}
+}
+
+func TestEigenDecomposeDiagonal(t *testing.T) {
+	s := NewSym(3)
+	s.Set(0, 0, 3)
+	s.Set(1, 1, 1)
+	s.Set(2, 2, 2)
+	vals, vecs := EigenDecompose(s)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+	// Eigenvector for eigenvalue 1 must be ±e2.
+	if math.Abs(math.Abs(vecs[0][1])-1) > 1e-10 {
+		t.Errorf("eigenvector for 1 = %v, want ±e2", vecs[0])
+	}
+}
+
+func TestRayleighQuotientBounds(t *testing.T) {
+	// λmin <= R(x) <= λmax for any x — the variational property that
+	// justifies solving Equation 15 with an eigendecomposition.
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randSym(6, rng)
+		vals, _ := EigenDecompose(s)
+		x := make([]float64, 6)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		q := s.RayleighQuotient(x)
+		return q >= vals[0]-1e-8 && q <= vals[5]+1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRayleighQuotientZeroVector(t *testing.T) {
+	s := NewSym(2)
+	s.Set(0, 0, 1)
+	if q := s.RayleighQuotient([]float64{0, 0}); q != 0 {
+		t.Errorf("zero vector Rayleigh = %v", q)
+	}
+}
+
+func TestCenterProject(t *testing.T) {
+	// After Qᵀ S Q, the all-ones vector must be in the null space:
+	// row sums and column sums of the projected matrix are zero.
+	rng := rand.New(rand.NewSource(13))
+	s := randSym(6, rng)
+	s.CenterProject()
+	for i := 0; i < 6; i++ {
+		rowSum := 0.0
+		for j := 0; j < 6; j++ {
+			rowSum += s.At(i, j)
+		}
+		if math.Abs(rowSum) > 1e-10 {
+			t.Errorf("row %d sum = %v after centering", i, rowSum)
+		}
+	}
+}
+
+func TestCenterProjectMatchesExplicitQ(t *testing.T) {
+	// Compare the in-place centering with an explicit Q S Q product.
+	n := 5
+	rng := rand.New(rand.NewSource(17))
+	s := randSym(n, rng)
+	want := NewSym(n)
+	q := func(i, j int) float64 {
+		v := -1.0 / float64(n)
+		if i == j {
+			v += 1.0
+		}
+		return v
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					acc += q(a, i) * s.At(a, b) * q(b, j)
+				}
+			}
+			want.Data[i*n+j] = acc
+		}
+	}
+	got := s.Clone()
+	got.CenterProject()
+	for i := 0; i < n*n; i++ {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-10 {
+			t.Fatalf("CenterProject mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := NewSym(2)
+	s.Set(0, 1, 4)
+	c := s.Clone()
+	c.Set(0, 1, 9)
+	if s.At(0, 1) != 4 {
+		t.Error("Clone shares storage")
+	}
+}

@@ -1,0 +1,227 @@
+// Package plot renders the experiment figures as standalone SVG documents
+// using only the standard library: scatter plots with a reference diagonal
+// (Figures 5, 7, 10, 11), log-log line charts (Figure 12), and
+// critical-difference rank plots (Figures 6, 8, 9). The output is plain,
+// dependency-free SVG meant for quick inspection in a browser.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Size of every generated figure in pixels.
+const (
+	width  = 480
+	height = 420
+	margin = 56
+)
+
+var palette = []string{"#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed", "#0891b2"}
+
+type svgBuilder struct {
+	strings.Builder
+}
+
+func newSVG(w, h int) *svgBuilder {
+	b := &svgBuilder{}
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`, w, h, w, h)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	return b
+}
+
+func (b *svgBuilder) finish() []byte {
+	b.WriteString("</svg>\n")
+	return []byte(b.String())
+}
+
+func (b *svgBuilder) text(x, y float64, anchor, s string) {
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" text-anchor="%s">%s</text>`, x, y, anchor, escape(s))
+}
+
+func (b *svgBuilder) line(x1, y1, x2, y2 float64, stroke string, dash bool) {
+	d := ""
+	if dash {
+		d = ` stroke-dasharray="4 3"`
+	}
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"%s/>`, x1, y1, x2, y2, stroke, d)
+}
+
+func (b *svgBuilder) circle(x, y, r float64, fill string) {
+	fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="0.65"/>`, x, y, r, fill)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// Scatter renders an (x, y) accuracy scatter in [lo, hi]² with the y = x
+// diagonal — points above the diagonal favor the y-axis method, the
+// paper's visual convention.
+func Scatter(title, xLabel, yLabel string, xs, ys []float64, lo, hi float64) []byte {
+	b := newSVG(width, height)
+	plotW := float64(width - 2*margin)
+	plotH := float64(height - 2*margin)
+	px := func(v float64) float64 { return margin + (v-lo)/(hi-lo)*plotW }
+	py := func(v float64) float64 { return float64(height-margin) - (v-lo)/(hi-lo)*plotH }
+
+	b.text(float64(width)/2, 20, "middle", title)
+	// Axes.
+	b.line(px(lo), py(lo), px(hi), py(lo), "#111", false)
+	b.line(px(lo), py(lo), px(lo), py(hi), "#111", false)
+	// Diagonal.
+	b.line(px(lo), py(lo), px(hi), py(hi), "#999", true)
+	// Ticks at lo, mid, hi.
+	for _, v := range []float64{lo, (lo + hi) / 2, hi} {
+		b.text(px(v), py(lo)+16, "middle", fmt.Sprintf("%.1f", v))
+		b.text(px(lo)-8, py(v)+4, "end", fmt.Sprintf("%.1f", v))
+	}
+	b.text(float64(width)/2, float64(height)-12, "middle", xLabel)
+	fmt.Fprintf(b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`,
+		height/2, height/2, escape(yLabel))
+	for i := range xs {
+		b.circle(px(clamp(xs[i], lo, hi)), py(clamp(ys[i], lo, hi)), 3.4, palette[0])
+	}
+	return b.finish()
+}
+
+// Lines renders one or more named series on linear axes (used for the
+// Figure 12 runtime curves).
+func Lines(title, xLabel, yLabel string, x []float64, series map[string][]float64) []byte {
+	b := newSVG(width, height)
+	plotW := float64(width - 2*margin)
+	plotH := float64(height - 2*margin)
+	xLo, xHi := minMax(x)
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	for _, ys := range series {
+		lo, hi := minMax(ys)
+		yLo, yHi = math.Min(yLo, lo), math.Max(yHi, hi)
+	}
+	if yLo == yHi {
+		yHi = yLo + 1
+	}
+	if xLo == xHi {
+		xHi = xLo + 1
+	}
+	px := func(v float64) float64 { return margin + (v-xLo)/(xHi-xLo)*plotW }
+	py := func(v float64) float64 { return float64(height-margin) - (v-yLo)/(yHi-yLo)*plotH }
+
+	b.text(float64(width)/2, 20, "middle", title)
+	b.line(px(xLo), py(yLo), px(xHi), py(yLo), "#111", false)
+	b.line(px(xLo), py(yLo), px(xLo), py(yHi), "#111", false)
+	b.text(float64(width)/2, float64(height)-12, "middle", xLabel)
+	fmt.Fprintf(b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`,
+		height/2, height/2, escape(yLabel))
+	for _, v := range []float64{xLo, (xLo + xHi) / 2, xHi} {
+		b.text(px(v), py(yLo)+16, "middle", fmt.Sprintf("%.0f", v))
+	}
+	for _, v := range []float64{yLo, (yLo + yHi) / 2, yHi} {
+		b.text(px(xLo)-8, py(v)+4, "end", fmt.Sprintf("%.2g", v))
+	}
+	names := sortedKeys(series)
+	for si, name := range names {
+		ys := series[name]
+		color := palette[si%len(palette)]
+		for i := 1; i < len(ys) && i < len(x); i++ {
+			b.line(px(x[i-1]), py(ys[i-1]), px(x[i]), py(ys[i]), color, false)
+		}
+		for i := 0; i < len(ys) && i < len(x); i++ {
+			b.circle(px(x[i]), py(ys[i]), 3, color)
+		}
+		// Legend.
+		ly := 34 + 16*si
+		b.line(float64(width-margin-110), float64(ly), float64(width-margin-90), float64(ly), color, false)
+		b.text(float64(width-margin-84), float64(ly)+4, "start", name)
+	}
+	return b.finish()
+}
+
+// CDRanks renders a critical-difference diagram: methods placed on a rank
+// axis (best = left), with a bar for the Nemenyi critical difference and
+// connector lines for each group of statistically indistinguishable
+// methods — the paper's Figures 6, 8, and 9.
+func CDRanks(title string, names []string, avgRanks []float64, cd float64, groups [][]int) []byte {
+	k := len(names)
+	b := newSVG(width, height)
+	plotW := float64(width - 2*margin)
+	lo, hi := 1.0, float64(k)
+	px := func(v float64) float64 { return margin + (v-lo)/(hi-lo)*plotW }
+	axisY := 80.0
+
+	b.text(float64(width)/2, 20, "middle", title)
+	b.line(px(lo), axisY, px(hi), axisY, "#111", false)
+	for v := 1; v <= k; v++ {
+		b.line(px(float64(v)), axisY-4, px(float64(v)), axisY+4, "#111", false)
+		b.text(px(float64(v)), axisY-8, "middle", fmt.Sprintf("%d", v))
+	}
+	// CD bar at the top-left.
+	b.line(px(lo), 40, px(lo+cd), 40, "#dc2626", false)
+	b.text(px(lo+cd)+6, 44, "start", fmt.Sprintf("CD = %.2f", cd))
+
+	// Method stems and labels, alternating above/below to avoid collisions.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by rank.
+	for i := 1; i < k; i++ {
+		for j := i; j > 0 && avgRanks[order[j]] < avgRanks[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for pos, idx := range order {
+		x := px(clamp(avgRanks[idx], lo, hi))
+		labelY := axisY + 40 + float64(pos)*18
+		b.line(x, axisY, x, labelY-12, "#555", false)
+		b.text(x, labelY, "middle", fmt.Sprintf("%s (%.2f)", names[idx], avgRanks[idx]))
+	}
+	// Group connectors just under the axis.
+	for gi, group := range groups {
+		loR, hiR := math.Inf(1), math.Inf(-1)
+		for _, idx := range group {
+			loR = math.Min(loR, avgRanks[idx])
+			hiR = math.Max(hiR, avgRanks[idx])
+		}
+		y := axisY + 8 + float64(gi)*6
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#111" stroke-width="3"/>`,
+			px(clamp(loR, lo, hi))-3, y, px(clamp(hiR, lo, hi))+3, y)
+	}
+	return b.finish()
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if len(xs) == 0 {
+		return 0, 1
+	}
+	return lo, hi
+}
+
+func sortedKeys(m map[string][]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

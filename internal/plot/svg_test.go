@@ -1,0 +1,109 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed checks the output parses as XML.
+func wellFormed(t *testing.T, svg []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(string(svg)))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	xs := []float64{0.5, 0.7, 0.9, 1.2} // 1.2 must clamp
+	ys := []float64{0.6, 0.65, 0.95, 0.3}
+	svg := Scatter("SBD vs ED", "ED", "SBD", xs, ys, 0.3, 1.0)
+	wellFormed(t, svg)
+	s := string(svg)
+	if got := strings.Count(s, "<circle"); got != 4 {
+		t.Errorf("circles = %d, want 4", got)
+	}
+	for _, want := range []string{"SBD vs ED", "stroke-dasharray"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestScatterEscapesMarkup(t *testing.T) {
+	svg := Scatter("a < b & c", "x", "y", nil, nil, 0, 1)
+	wellFormed(t, svg)
+	if !strings.Contains(string(svg), "a &lt; b &amp; c") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestLines(t *testing.T) {
+	x := []float64{100, 200, 400}
+	series := map[string][]float64{
+		"k-Shape":  {0.1, 0.2, 0.4},
+		"k-AVG+ED": {0.01, 0.02, 0.04},
+	}
+	svg := Lines("Figure 12a", "n", "seconds", x, series)
+	wellFormed(t, svg)
+	s := string(svg)
+	if got := strings.Count(s, "<circle"); got != 6 {
+		t.Errorf("markers = %d, want 6", got)
+	}
+	if !strings.Contains(s, "k-Shape") || !strings.Contains(s, "k-AVG+ED") {
+		t.Error("legend entries missing")
+	}
+}
+
+func TestLinesDegenerate(t *testing.T) {
+	svg := Lines("flat", "x", "y", []float64{1, 1}, map[string][]float64{"a": {2, 2}})
+	wellFormed(t, svg)
+}
+
+func TestCDRanks(t *testing.T) {
+	names := []string{"k-Shape", "k-AVG+ED", "KSC", "k-DBA"}
+	ranks := []float64{1.8, 3.0, 2.2, 3.1}
+	groups := [][]int{{0, 2}, {1, 3}}
+	svg := CDRanks("Figure 8", names, ranks, 0.68, groups)
+	wellFormed(t, svg)
+	s := string(svg)
+	for _, n := range names {
+		if !strings.Contains(s, n) {
+			t.Errorf("missing method %q", n)
+		}
+	}
+	if !strings.Contains(s, "CD = 0.68") {
+		t.Error("missing CD bar label")
+	}
+	if got := strings.Count(s, `stroke-width="3"`); got != 2 {
+		t.Errorf("group connectors = %d, want 2", got)
+	}
+}
+
+func TestClampAndMinMax(t *testing.T) {
+	if clamp(5, 0, 1) != 1 || clamp(-1, 0, 1) != 0 || clamp(0.5, 0, 1) != 0.5 {
+		t.Error("clamp broken")
+	}
+	lo, hi := minMax(nil)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty minMax = %v, %v", lo, hi)
+	}
+	lo, hi = minMax([]float64{3, -2, 7})
+	if lo != -2 || hi != 7 {
+		t.Errorf("minMax = %v, %v", lo, hi)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := sortedKeys(map[string][]float64{"b": nil, "a": nil, "c": nil})
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("sortedKeys = %v", got)
+	}
+}

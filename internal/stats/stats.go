@@ -1,0 +1,327 @@
+// Package stats implements the statistical machinery of the paper's
+// Section 4: the Wilcoxon signed-rank test for pairwise method comparison
+// over multiple datasets, the Friedman test over average ranks for
+// multiple-method comparison, and the post-hoc Nemenyi test that groups
+// methods whose rank difference falls below the critical difference —
+// the analysis behind Tables 2-4 and Figures 6, 8, and 9.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Ranks assigns fractional ranks (1 = smallest) to the values, averaging
+// ties — the standard mid-rank convention used by both the Wilcoxon and
+// Friedman tests.
+func Ranks(values []float64) []float64 {
+	n := len(values)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && values[idx[j+1]] == values[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for t := i; t <= j; t++ {
+			ranks[idx[t]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// normalCDF is the standard normal cumulative distribution function.
+func normalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// WilcoxonResult reports a two-sided Wilcoxon signed-rank test.
+type WilcoxonResult struct {
+	// W is the smaller of the positive- and negative-rank sums.
+	W float64
+	// N is the number of non-zero differences actually ranked.
+	N int
+	// Z is the normal approximation statistic.
+	Z float64
+	// P is the two-sided p-value.
+	P float64
+}
+
+// Wilcoxon runs the two-sided Wilcoxon signed-rank test on paired samples a
+// and b (e.g. per-dataset accuracies of two methods), using the normal
+// approximation with tie correction. Zero differences are dropped, the
+// convention the paper's reference (Demšar) follows. Returns N = 0 and
+// P = 1 when every pair ties.
+func Wilcoxon(a, b []float64) WilcoxonResult {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: Wilcoxon length mismatch %d vs %d", len(a), len(b)))
+	}
+	var diffs []float64
+	for i := range a {
+		if d := a[i] - b[i]; d != 0 {
+			diffs = append(diffs, d)
+		}
+	}
+	n := len(diffs)
+	if n == 0 {
+		return WilcoxonResult{N: 0, P: 1}
+	}
+	absDiffs := make([]float64, n)
+	for i, d := range diffs {
+		absDiffs[i] = math.Abs(d)
+	}
+	ranks := Ranks(absDiffs)
+	var wPlus, wMinus float64
+	for i, d := range diffs {
+		if d > 0 {
+			wPlus += ranks[i]
+		} else {
+			wMinus += ranks[i]
+		}
+	}
+	w := math.Min(wPlus, wMinus)
+	nf := float64(n)
+	mean := nf * (nf + 1) / 4
+	variance := nf * (nf + 1) * (2*nf + 1) / 24
+	// Tie correction: subtract sum(t³ - t)/48 over tie groups.
+	variance -= tieCorrection(absDiffs) / 48
+	if variance <= 0 {
+		return WilcoxonResult{W: w, N: n, P: 1}
+	}
+	z := (w - mean) / math.Sqrt(variance)
+	p := 2 * normalCDF(z) // w <= mean, so z <= 0 and CDF(z) is the lower tail
+	if p > 1 {
+		p = 1
+	}
+	return WilcoxonResult{W: w, N: n, Z: z, P: p}
+}
+
+func tieCorrection(values []float64) float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	total := 0.0
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		if t > 1 {
+			total += t*t*t - t
+		}
+		i = j + 1
+	}
+	return total
+}
+
+// SignificantlyBetter reports whether method a beats method b with the given
+// confidence (e.g. 0.99 per the paper) under the Wilcoxon test: the test
+// must reject equality AND a must have the larger values on balance.
+func SignificantlyBetter(a, b []float64, confidence float64) bool {
+	res := Wilcoxon(a, b)
+	if res.P > 1-confidence {
+		return false
+	}
+	sum := 0.0
+	for i := range a {
+		sum += a[i] - b[i]
+	}
+	return sum > 0
+}
+
+// FriedmanResult reports a Friedman test over k methods and N datasets.
+type FriedmanResult struct {
+	// AvgRanks holds, per method, the average rank across datasets
+	// (1 = best). Higher metric values receive better (smaller) ranks.
+	AvgRanks []float64
+	// ChiSq is the Friedman chi-square statistic with k-1 degrees of
+	// freedom.
+	ChiSq float64
+	// P is the p-value of the null hypothesis that all methods perform
+	// alike.
+	P float64
+}
+
+// Friedman runs the Friedman test on scores[method][dataset], where larger
+// scores are better (accuracy, Rand Index). Within each dataset, methods
+// are ranked 1 (best) to k (worst) with mid-ranks for ties.
+func Friedman(scores [][]float64) FriedmanResult {
+	k := len(scores)
+	if k < 2 {
+		panic("stats: Friedman needs at least 2 methods")
+	}
+	n := len(scores[0])
+	for _, row := range scores {
+		if len(row) != n {
+			panic("stats: Friedman ragged score matrix")
+		}
+	}
+	if n == 0 {
+		panic("stats: Friedman needs at least 1 dataset")
+	}
+	avg := make([]float64, k)
+	col := make([]float64, k)
+	for d := 0; d < n; d++ {
+		for m := 0; m < k; m++ {
+			col[m] = -scores[m][d] // negate: larger score = smaller rank
+		}
+		ranks := Ranks(col)
+		for m := 0; m < k; m++ {
+			avg[m] += ranks[m]
+		}
+	}
+	for m := range avg {
+		avg[m] /= float64(n)
+	}
+	kf, nf := float64(k), float64(n)
+	sum := 0.0
+	for _, r := range avg {
+		sum += r * r
+	}
+	chi := 12 * nf / (kf * (kf + 1)) * (sum - kf*(kf+1)*(kf+1)/4)
+	p := ChiSquareSurvival(chi, k-1)
+	return FriedmanResult{AvgRanks: avg, ChiSq: chi, P: p}
+}
+
+// ChiSquareSurvival returns P(X >= x) for a chi-square distribution with
+// df degrees of freedom, via the regularized upper incomplete gamma
+// function Q(df/2, x/2).
+func ChiSquareSurvival(x float64, df int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return upperGammaRegularized(float64(df)/2, x/2)
+}
+
+// upperGammaRegularized computes Q(s, x) = Γ(s, x)/Γ(s) using the series
+// expansion for x < s+1 and the Lentz continued fraction otherwise
+// (Numerical Recipes §6.2).
+func upperGammaRegularized(s, x float64) float64 {
+	if x < 0 || s <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < s+1 {
+		return 1 - lowerGammaSeries(s, x)
+	}
+	return upperGammaCF(s, x)
+}
+
+func lowerGammaSeries(s, x float64) float64 {
+	lg, _ := math.Lgamma(s)
+	ap := s
+	sum := 1.0 / s
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+s*math.Log(x)-lg)
+}
+
+func upperGammaCF(s, x float64) float64 {
+	lg, _ := math.Lgamma(s)
+	const tiny = 1e-300
+	b := x + 1 - s
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - s)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+s*math.Log(x)-lg) * h
+}
+
+// nemenyiQ05 holds the critical values q_α for α = 0.05 of the studentized
+// range statistic divided by √2, indexed by the number of methods k
+// (entries 2..20), as tabulated in Demšar (2006).
+var nemenyiQ05 = map[int]float64{
+	2: 1.960, 3: 2.343, 4: 2.569, 5: 2.728, 6: 2.850,
+	7: 2.949, 8: 3.031, 9: 3.102, 10: 3.164, 11: 3.219,
+	12: 3.268, 13: 3.313, 14: 3.354, 15: 3.391, 16: 3.426,
+	17: 3.458, 18: 3.489, 19: 3.517, 20: 3.544,
+}
+
+// NemenyiCD returns the critical difference of average ranks at α = 0.05
+// for k methods over n datasets:
+//
+//	CD = q_α · sqrt(k(k+1) / (6n))
+//
+// Two methods whose average ranks differ by less than CD are not
+// significantly different (the "wiggly line" grouping of Figures 6/8/9).
+func NemenyiCD(k, n int) float64 {
+	q, ok := nemenyiQ05[k]
+	if !ok {
+		panic(fmt.Sprintf("stats: Nemenyi critical value not tabulated for k=%d", k))
+	}
+	return q * math.Sqrt(float64(k)*float64(k+1)/(6*float64(n)))
+}
+
+// NemenyiGroups partitions method indices (sorted by average rank) into
+// maximal runs whose extreme ranks differ by less than the critical
+// difference — the groups connected by a line in the paper's rank plots.
+// The same method may appear in multiple overlapping groups.
+func NemenyiGroups(avgRanks []float64, n int) (order []int, cd float64, groups [][]int) {
+	k := len(avgRanks)
+	cd = NemenyiCD(k, n)
+	order = make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return avgRanks[order[a]] < avgRanks[order[b]] })
+	for i := 0; i < k; i++ {
+		j := i
+		for j+1 < k && avgRanks[order[j+1]]-avgRanks[order[i]] < cd {
+			j++
+		}
+		if j > i {
+			group := append([]int(nil), order[i:j+1]...)
+			// Only keep maximal groups (skip those contained in the previous).
+			if len(groups) == 0 || !containedIn(group, groups[len(groups)-1]) {
+				groups = append(groups, group)
+			}
+		}
+	}
+	return order, cd, groups
+}
+
+func containedIn(inner, outer []int) bool {
+	set := map[int]bool{}
+	for _, v := range outer {
+		set[v] = true
+	}
+	for _, v := range inner {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,64 @@
+package ts
+
+import "fmt"
+
+// PAA computes the Piecewise Aggregate Approximation of x with the given
+// number of segments: the series is partitioned into equal-width (possibly
+// fractional) windows and each window is replaced by its mean. The paper
+// (Section 3.3) recommends this kind of dimensionality reduction when the
+// series length m approaches the collection size n, since k-Shape's
+// per-iteration cost is dominated by m.
+//
+// Fractional boundaries are handled by weighting the straddling samples, so
+// any 1 <= segments <= len(x) is valid and PAA(x, len(x)) == x.
+func PAA(x []float64, segments int) []float64 {
+	m := len(x)
+	if segments < 1 || segments > m {
+		panic(fmt.Sprintf("ts: PAA segments %d out of [1, %d]", segments, m))
+	}
+	if segments == m {
+		out := make([]float64, m)
+		copy(out, x)
+		return out
+	}
+	out := make([]float64, segments)
+	width := float64(m) / float64(segments)
+	for s := 0; s < segments; s++ {
+		lo := float64(s) * width
+		hi := lo + width
+		sum := 0.0
+		// Integrate x as a step function over [lo, hi).
+		for i := int(lo); i < m && float64(i) < hi; i++ {
+			a := maxF(lo, float64(i))
+			b := minF(hi, float64(i+1))
+			if b > a {
+				sum += x[i] * (b - a)
+			}
+		}
+		out[s] = sum / width
+	}
+	return out
+}
+
+// PAAAll applies PAA to every row of data.
+func PAAAll(data [][]float64, segments int) [][]float64 {
+	out := make([][]float64, len(data))
+	for i, x := range data {
+		out[i] = PAA(x, segments)
+	}
+	return out
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,274 @@
+// Package ts provides the basic time-series container and the normalization
+// primitives that the rest of the library builds on: z-normalization,
+// range normalization, optimal-scaling alignment, and integer shifting.
+//
+// All functions operate on []float64 slices; a Series couples such a slice
+// with an integer class label so that labeled datasets (used for evaluating
+// clustering quality) can be passed around as a single value.
+package ts
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Series is a single univariate time series together with an optional class
+// label. Label is -1 when the series is unlabeled.
+type Series struct {
+	Values []float64
+	Label  int
+}
+
+// New returns an unlabeled series wrapping values. The slice is not copied.
+func New(values []float64) Series {
+	return Series{Values: values, Label: -1}
+}
+
+// NewLabeled returns a labeled series wrapping values. The slice is not copied.
+func NewLabeled(values []float64, label int) Series {
+	return Series{Values: values, Label: label}
+}
+
+// Len returns the number of observations in the series.
+func (s Series) Len() int { return len(s.Values) }
+
+// Clone returns a deep copy of the series.
+func (s Series) Clone() Series {
+	v := make([]float64, len(s.Values))
+	copy(v, s.Values)
+	return Series{Values: v, Label: s.Label}
+}
+
+// ErrEmpty is returned by operations that require a non-empty series.
+var ErrEmpty = errors.New("ts: empty series")
+
+// ErrLengthMismatch is returned by pairwise operations on series of
+// different lengths when equal lengths are required.
+var ErrLengthMismatch = errors.New("ts: series length mismatch")
+
+// Mean returns the arithmetic mean of x. It returns 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	return sum / float64(len(x))
+}
+
+// Std returns the population standard deviation of x (dividing by n, as in
+// the paper's z-normalization). It returns 0 for slices shorter than 1.
+func Std(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	mu := Mean(x)
+	ss := 0.0
+	for _, v := range x {
+		d := v - mu
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(x)))
+}
+
+// Norm returns the Euclidean (L2) norm of x.
+func Norm(x []float64) float64 {
+	ss := 0.0
+	for _, v := range x {
+		ss += v * v
+	}
+	return math.Sqrt(ss)
+}
+
+// Dot returns the inner product of x and y. It panics if lengths differ.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("ts: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// ZNormalize returns a new slice with mean 0 and standard deviation 1:
+// x' = (x - mean(x)) / std(x). A constant (zero-variance) series is mapped
+// to all zeros, which keeps downstream distance computations well defined.
+func ZNormalize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	mu := Mean(x)
+	sd := Std(x)
+	if sd == 0 {
+		return out // all zeros
+	}
+	for i, v := range x {
+		out[i] = (v - mu) / sd
+	}
+	return out
+}
+
+// ZNormalizeInPlace z-normalizes x in place and returns it.
+func ZNormalizeInPlace(x []float64) []float64 {
+	mu := Mean(x)
+	sd := Std(x)
+	if sd == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return x
+	}
+	for i := range x {
+		x[i] = (x[i] - mu) / sd
+	}
+	return x
+}
+
+// IsZNormalized reports whether x has mean ~0 and std ~1 (or is all zeros)
+// within tol.
+func IsZNormalized(x []float64, tol float64) bool {
+	if len(x) == 0 {
+		return true
+	}
+	mu := Mean(x)
+	sd := Std(x)
+	if math.Abs(mu) > tol {
+		return false
+	}
+	return math.Abs(sd-1) <= tol || sd <= tol
+}
+
+// Normalize01 rescales x into [0, 1]: x' = (x - min) / (max - min).
+// A constant series is mapped to all zeros. This is the
+// "ValuesBetween0-1" normalization of the paper's Appendix A.
+func Normalize01(x []float64) []float64 {
+	out := make([]float64, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return out
+	}
+	for i, v := range x {
+		out[i] = (v - lo) / (hi - lo)
+	}
+	return out
+}
+
+// OptimalScale returns the least-squares scaling coefficient
+// c = (x·y) / (y·y) that best matches c*y to x, as used by the
+// "OptimalScaling" normalization of the paper's Appendix A.
+// It returns 0 when y has zero energy.
+func OptimalScale(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("ts: OptimalScale length mismatch %d vs %d", len(x), len(y)))
+	}
+	den := Dot(y, y)
+	if den == 0 {
+		return 0
+	}
+	return Dot(x, y) / den
+}
+
+// Scale returns a new slice c*y.
+func Scale(y []float64, c float64) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		out[i] = c * v
+	}
+	return out
+}
+
+// Shift returns y shifted by s positions, zero-padded, per Equation 5 of the
+// paper: for s >= 0 the series moves right (s leading zeros); for s < 0 it
+// moves left (|s| trailing zeros). The result has the same length as y.
+func Shift(y []float64, s int) []float64 {
+	m := len(y)
+	out := make([]float64, m)
+	if s >= m || -s >= m {
+		return out // shifted entirely out of the window
+	}
+	if s >= 0 {
+		copy(out[s:], y[:m-s])
+	} else {
+		copy(out, y[-s:])
+	}
+	return out
+}
+
+// Reverse returns a new slice with the elements of x in reverse order.
+func Reverse(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[len(x)-1-i] = v
+	}
+	return out
+}
+
+// Matrix is a dense n×m collection of equal-length rows, the layout used for
+// cluster inputs ("an n-by-m matrix with z-normalized time series" in the
+// paper's pseudocode).
+type Matrix [][]float64
+
+// NewMatrix allocates an n×m zero matrix backed by a single contiguous slice.
+func NewMatrix(n, m int) Matrix {
+	backing := make([]float64, n*m)
+	rows := make(Matrix, n)
+	for i := range rows {
+		rows[i] = backing[i*m : (i+1)*m : (i+1)*m]
+	}
+	return rows
+}
+
+// Rows returns the values of labeled series as a Matrix (no copying).
+func Rows(data []Series) Matrix {
+	m := make(Matrix, len(data))
+	for i, s := range data {
+		m[i] = s.Values
+	}
+	return m
+}
+
+// Labels returns the labels of data as a slice.
+func Labels(data []Series) []int {
+	out := make([]int, len(data))
+	for i, s := range data {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// ZNormalizeAll z-normalizes every series in data in place.
+func ZNormalizeAll(data []Series) {
+	for i := range data {
+		ZNormalizeInPlace(data[i].Values)
+	}
+}
+
+// EqualLength verifies that all series in data share one length and returns
+// it. It returns an error for an empty collection or ragged lengths.
+func EqualLength(data []Series) (int, error) {
+	if len(data) == 0 {
+		return 0, ErrEmpty
+	}
+	m := data[0].Len()
+	for i, s := range data {
+		if s.Len() != m {
+			return 0, fmt.Errorf("%w: series 0 has length %d, series %d has length %d",
+				ErrLengthMismatch, m, i, s.Len())
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,358 @@
+// Package kshape implements the k-Shape time-series clustering algorithm of
+// Paparrizos & Gravano (SIGMOD 2015), together with its shape-based distance
+// (SBD) and shape-extraction centroid method, and the full set of baseline
+// algorithms the paper evaluates against (k-means variants, k-DBA, KSC,
+// PAM/k-medoids, hierarchical and spectral clustering with ED/cDTW/SBD).
+//
+// Quick start:
+//
+//	res, err := kshape.Cluster(data, 3, kshape.Options{Seed: 42})
+//	// res.Labels[i] is the cluster of data[i]; res.Centroids are the
+//	// extracted shapes.
+//
+// Input series must be equal-length. Unless Options.SkipNormalization is
+// set, every series is z-normalized first, which provides the scaling and
+// translation invariances of the method; SBD itself provides shift
+// invariance.
+package kshape
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kshape/internal/avg"
+	"kshape/internal/cluster"
+	"kshape/internal/core"
+	"kshape/internal/dist"
+	"kshape/internal/eval"
+	"kshape/internal/ts"
+)
+
+// Result reports a clustering.
+type Result struct {
+	// Labels assigns each input series to a cluster in [0, K).
+	Labels []int
+	// Centroids holds one representative shape per cluster (z-normalized
+	// for k-Shape; method-specific for baselines, and nil for spectral
+	// clustering, whose embedded centroids are not time series).
+	Centroids [][]float64
+	// Iterations is the number of refinement iterations executed.
+	Iterations int
+	// Converged is true when the method stopped on a fixed point rather
+	// than the iteration cap.
+	Converged bool
+	// Inertia is the within-cluster sum of squared distances at termination
+	// (Equation 1 of the paper) — comparable across runs of the same
+	// method and k, used by ClusterRestarts to pick the best restart.
+	Inertia float64
+}
+
+// Options configures Cluster and New.
+type Options struct {
+	// MaxIterations caps the refinement loop (default 100, as in the
+	// paper).
+	MaxIterations int
+	// Seed drives the random initial assignment. Runs with the same data,
+	// k, and seed are reproducible.
+	Seed int64
+	// SkipNormalization disables the automatic z-normalization. Set it only
+	// if the input is already z-normalized.
+	SkipNormalization bool
+	// Method selects the clustering algorithm by its paper name
+	// ("k-Shape", "k-AVG+ED", "k-DBA", "KSC", "PAM+SBD", "H-C+SBD",
+	// "S+SBD", ...). Empty means "k-Shape". See Methods for the full list.
+	Method string
+}
+
+// Cluster partitions equal-length time series into k clusters with k-Shape
+// (or the algorithm named in opts.Method).
+func Cluster(data [][]float64, k int, opts Options) (*Result, error) {
+	if len(data) == 0 {
+		return nil, errors.New("kshape: no input series")
+	}
+	name := opts.Method
+	if name == "" {
+		name = "k-Shape"
+	}
+	c, ok := methodRegistry()[name]
+	if !ok {
+		return nil, fmt.Errorf("kshape: unknown method %q (see kshape.Methods)", name)
+	}
+	m := len(data[0])
+	for i, x := range data {
+		if len(x) != m {
+			return nil, fmt.Errorf("kshape: series %d has length %d, want %d (all series must be equal-length)", i, len(x), m)
+		}
+		for j, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("kshape: series %d has a non-finite value at position %d", i, j)
+			}
+		}
+	}
+	prepared := data
+	if !opts.SkipNormalization {
+		prepared = make([][]float64, len(data))
+		for i, x := range data {
+			prepared[i] = ts.ZNormalize(x)
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var res *core.Result
+	var err error
+	if name == "k-Shape" && opts.MaxIterations > 0 {
+		res, err = core.Lloyd(prepared, core.Config{
+			K:             k,
+			MaxIterations: opts.MaxIterations,
+			Distance:      func(c, x []float64) float64 { return dist.SBDDist(c, x) },
+			Centroid:      avg.ShapeExtraction,
+			Rand:          rng,
+		})
+	} else {
+		res, err = c.Cluster(prepared, k, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Labels:     res.Labels,
+		Centroids:  res.Centroids,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Inertia:    res.Inertia,
+	}, nil
+}
+
+// ClusterRestarts runs Cluster `restarts` times with seeds derived from
+// opts.Seed and returns the run minimizing the within-cluster objective
+// (Result.Inertia) — the standard way to smooth over bad random
+// initializations of Lloyd-type methods.
+func ClusterRestarts(data [][]float64, k, restarts int, opts Options) (*Result, error) {
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		o := opts
+		o.Seed = opts.Seed + int64(r)*1_000_003
+		res, err := Cluster(data, k, o)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// Methods lists the clustering algorithms available through
+// Options.Method, in the order of the paper's tables.
+func Methods() []string {
+	return []string{
+		"k-Shape",
+		"k-AVG+ED", "k-AVG+SBD", "k-AVG+DTW", "k-DBA", "KSC", "k-Shape+DTW",
+		"PAM+ED", "PAM+cDTW5", "PAM+SBD",
+		"H-S+ED", "H-A+ED", "H-C+ED",
+		"H-S+cDTW5", "H-A+cDTW5", "H-C+cDTW5",
+		"H-S+SBD", "H-A+SBD", "H-C+SBD",
+		"S+ED", "S+cDTW5", "S+SBD",
+		"Features+k-means",
+	}
+}
+
+func methodRegistry() map[string]cluster.Clusterer {
+	cdtw5 := dist.NewCDTWFrac("cDTW5", 0.05)
+	reg := map[string]cluster.Clusterer{
+		"k-Shape":     cluster.NewKShape(),
+		"k-AVG+ED":    cluster.NewKAvgED(),
+		"k-AVG+SBD":   cluster.NewKAvgSBD(),
+		"k-AVG+DTW":   cluster.NewKAvgDTW(),
+		"k-DBA":       cluster.NewKDBA(),
+		"KSC":         cluster.NewKSC(),
+		"k-Shape+DTW": cluster.NewKShapeDTW(),
+		"PAM+ED":      cluster.NewPAM(dist.EDMeasure{}),
+		"PAM+cDTW5":   cluster.NewPAM(cdtw5),
+		"PAM+SBD":     cluster.NewPAM(dist.SBDMeasure{}),
+		"S+ED":        cluster.NewSpectral(dist.EDMeasure{}),
+		"S+cDTW5":     cluster.NewSpectral(cdtw5),
+		"S+SBD":       cluster.NewSpectral(dist.SBDMeasure{}),
+
+		// The statistical/feature-based contrast of Section 6.
+		"Features+k-means": cluster.NewFeatureBased(),
+	}
+	for _, link := range []cluster.Linkage{cluster.SingleLinkage, cluster.AverageLinkage, cluster.CompleteLinkage} {
+		for _, m := range []dist.Measure{dist.EDMeasure{}, cdtw5, dist.SBDMeasure{}} {
+			c := cluster.NewHierarchical(link, m)
+			reg[c.Name()] = c
+		}
+	}
+	return reg
+}
+
+// SBD computes the shape-based distance between two equal-length series and
+// returns y aligned (shifted) toward x. The distance lies in [0, 2]; 0
+// means identical shape up to scale and shift (inputs should be
+// z-normalized for the scale invariance to hold).
+func SBD(x, y []float64) (distance float64, yAligned []float64) {
+	return dist.SBD(x, y)
+}
+
+// SBDDistance is SBD without the aligned sequence.
+func SBDDistance(x, y []float64) float64 { return dist.SBDDist(x, y) }
+
+// ShapeExtract computes the shape-based centroid of a set of equal-length
+// series: the dominant eigenvector of the centered Gram matrix of the
+// SBD-aligned members (Algorithm 2 of the paper). ref is the alignment
+// reference (pass nil to skip alignment, e.g. for pre-aligned data).
+func ShapeExtract(members [][]float64, ref []float64) []float64 {
+	return avg.ShapeExtraction(members, ref)
+}
+
+// ZNormalize returns (x - mean) / std, the preprocessing k-Shape expects.
+func ZNormalize(x []float64) []float64 { return ts.ZNormalize(x) }
+
+// PAA reduces a series to the given number of segments by Piecewise
+// Aggregate Approximation (each equal-width window replaced by its mean) —
+// the dimensionality reduction Section 3.3 of the paper suggests when the
+// series length dominates the clustering cost. Cluster the reduced rows
+// exactly like raw ones.
+func PAA(x []float64, segments int) []float64 { return ts.PAA(x, segments) }
+
+// EstimateKRestarts is the number of random restarts EstimateK tries per
+// candidate k, keeping the silhouette-best run. Restarts smooth over bad
+// local optima of individual clusterings, which would otherwise make the
+// criterion prefer a wrong k.
+const EstimateKRestarts = 3
+
+// EstimateK selects the number of clusters without labels, per the paper's
+// footnote 2: it sweeps k in [2, kMax], runs k-Shape for each (with
+// EstimateKRestarts restarts), and returns the k maximizing the mean
+// silhouette coefficient under SBD (an intrinsic criterion), along with
+// that silhouette value. The SBD dissimilarity matrix is computed once, so
+// the sweep costs one O(n²) matrix plus the clusterings.
+func EstimateK(data [][]float64, kMax int, opts Options) (k int, silhouette float64, err error) {
+	if len(data) < 3 {
+		return 0, 0, errors.New("kshape: EstimateK needs at least 3 series")
+	}
+	if kMax < 2 {
+		return 0, 0, errors.New("kshape: EstimateK needs kMax >= 2")
+	}
+	if kMax > len(data)-1 {
+		kMax = len(data) - 1
+	}
+	prepared := make([][]float64, len(data))
+	for i, x := range data {
+		if opts.SkipNormalization {
+			prepared[i] = x
+		} else {
+			prepared[i] = ts.ZNormalize(x)
+		}
+	}
+	d := dist.PairwiseMatrix(dist.SBDMeasure{}, prepared)
+	inner := opts
+	inner.SkipNormalization = true
+	bestK, bestS := 0, -2.0
+	for kk := 2; kk <= kMax; kk++ {
+		for r := int64(0); r < EstimateKRestarts; r++ {
+			inner.Seed = opts.Seed + r*1_000_003
+			res, err := Cluster(prepared, kk, inner)
+			if err != nil {
+				return 0, 0, err
+			}
+			if s := eval.Silhouette(d, res.Labels); s > bestS {
+				bestK, bestS = kk, s
+			}
+		}
+	}
+	return bestK, bestS, nil
+}
+
+// RandIndex scores a clustering against ground-truth classes as the
+// fraction of series pairs on which the two partitions agree — the accuracy
+// metric of the paper's evaluation. It is symmetric and invariant to label
+// permutation; 1 means identical partitions.
+func RandIndex(pred, truth []int) float64 { return eval.RandIndex(pred, truth) }
+
+// Measures lists the distance measures accepted by Classify1NN, in the
+// order of the paper's Table 2 plus the extended elastic family.
+func Measures() []string {
+	return []string{"ED", "SBD", "DTW", "cDTW5", "cDTW10", "LCSS", "EDR", "ERP", "MSM", "TWED"}
+}
+
+func measureByName(name string) (dist.Measure, bool) {
+	switch name {
+	case "ED":
+		return dist.EDMeasure{}, true
+	case "SBD":
+		return dist.SBDMeasure{}, true
+	case "DTW":
+		return dist.DTWMeasure{}, true
+	case "cDTW5":
+		return dist.NewCDTWFrac("cDTW5", 0.05), true
+	case "cDTW10":
+		return dist.NewCDTWFrac("cDTW10", 0.10), true
+	case "LCSS":
+		return dist.LCSSMeasure{}, true
+	case "EDR":
+		return dist.EDRMeasure{}, true
+	case "ERP":
+		return dist.ERPMeasure{}, true
+	case "MSM":
+		return dist.MSMMeasure{}, true
+	case "TWED":
+		return dist.TWEDMeasure{}, true
+	}
+	return nil, false
+}
+
+// Classify1NN labels each query with the class of its nearest training
+// series under the named distance measure (see Measures) — the
+// 1-nearest-neighbor protocol of the paper's distance evaluation (Table 2).
+// Series are z-normalized first unless skipNormalization. Training rows and
+// labels must align; all series must share one length.
+func Classify1NN(train [][]float64, labels []int, queries [][]float64, measure string, skipNormalization bool) ([]int, error) {
+	if len(train) == 0 {
+		return nil, errors.New("kshape: empty training set")
+	}
+	if len(train) != len(labels) {
+		return nil, fmt.Errorf("kshape: %d training series but %d labels", len(train), len(labels))
+	}
+	m, ok := measureByName(measure)
+	if !ok {
+		return nil, fmt.Errorf("kshape: unknown measure %q (see kshape.Measures)", measure)
+	}
+	prep := func(rows [][]float64) [][]float64 {
+		if skipNormalization {
+			return rows
+		}
+		out := make([][]float64, len(rows))
+		for i, x := range rows {
+			out[i] = ts.ZNormalize(x)
+		}
+		return out
+	}
+	refs := prep(train)
+	out := make([]int, len(queries))
+	for i, q := range prep(queries) {
+		idx, _ := dist.NNIndex(m, q, refs)
+		out[i] = labels[idx]
+	}
+	return out, nil
+}
+
+// Predict assigns each query series to the nearest centroid under SBD,
+// enabling out-of-sample extension of a clustering. Queries are
+// z-normalized first unless skipNormalization.
+func Predict(centroids [][]float64, queries [][]float64, skipNormalization bool) []int {
+	out := make([]int, len(queries))
+	for i, q := range queries {
+		if !skipNormalization {
+			q = ts.ZNormalize(q)
+		}
+		idx, _ := dist.NNIndex(dist.SBDMeasure{}, q, centroids)
+		out[i] = idx
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+package kshape
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twoShapeClasses builds raw (unnormalized) data with two shape classes and
+// random amplitude/offset/phase distortions.
+func twoShapeClasses(nPerClass, m int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var data [][]float64
+	var labels []int
+	for c := 0; c < 2; c++ {
+		for i := 0; i < nPerClass; i++ {
+			x := make([]float64, m)
+			shift := rng.Intn(7) - 3
+			amp := 0.5 + 3*rng.Float64()
+			off := 10 * rng.NormFloat64()
+			for j := range x {
+				t := 2 * math.Pi * float64(j+shift) / float64(m)
+				v := math.Sin(t)
+				if c == 1 {
+					v = math.Abs(v) - 0.5
+				}
+				x[j] = amp*v + off + 0.1*rng.NormFloat64()
+			}
+			data = append(data, x)
+			labels = append(labels, c)
+		}
+	}
+	return data, labels
+}
+
+func purity(pred, truth []int, k int) float64 {
+	counts := make([]map[int]int, k)
+	for i := range counts {
+		counts[i] = map[int]int{}
+	}
+	for i, p := range pred {
+		counts[p][truth[i]]++
+	}
+	correct := 0
+	for _, c := range counts {
+		best := 0
+		for _, v := range c {
+			if v > best {
+				best = v
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+func TestClusterDefaultKShape(t *testing.T) {
+	data, truth := twoShapeClasses(25, 64, 1)
+	res, err := Cluster(data, 2, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := purity(res.Labels, truth, 2); p < 0.9 {
+		t.Errorf("purity = %v", p)
+	}
+	if len(res.Centroids) != 2 {
+		t.Errorf("centroids = %d", len(res.Centroids))
+	}
+	if res.Iterations < 1 {
+		t.Error("no iterations reported")
+	}
+}
+
+func TestClusterReproducibleWithSeed(t *testing.T) {
+	data, _ := twoShapeClasses(15, 48, 2)
+	a, err := Cluster(data, 2, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(data, 2, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestClusterNormalizationMatters(t *testing.T) {
+	// Raw data has wild amplitude/offset differences; the automatic
+	// z-normalization should make clustering work anyway.
+	data, truth := twoShapeClasses(20, 64, 4)
+	res, err := Cluster(data, 2, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := purity(res.Labels, truth, 2); p < 0.85 {
+		t.Errorf("purity with auto-normalization = %v", p)
+	}
+	// Input must not be mutated by normalization.
+	if data[0][0] == 0 && data[0][1] == 0 {
+		t.Error("input appears zeroed")
+	}
+}
+
+func TestClusterMethodSelection(t *testing.T) {
+	data, truth := twoShapeClasses(10, 32, 6)
+	for _, method := range []string{"k-AVG+ED", "PAM+SBD", "H-C+SBD", "S+SBD"} {
+		res, err := Cluster(data, 2, Options{Seed: 8, Method: method})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if p := purity(res.Labels, truth, 2); p < 0.7 {
+			t.Errorf("%s purity = %v", method, p)
+		}
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := Cluster(nil, 2, Options{}); err == nil {
+		t.Error("empty data accepted")
+	}
+	data, _ := twoShapeClasses(3, 16, 9)
+	if _, err := Cluster(data, 2, Options{Method: "bogus"}); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if _, err := Cluster(data, 100, Options{}); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestMethodsRegistryComplete(t *testing.T) {
+	reg := methodRegistry()
+	for _, name := range Methods() {
+		if _, ok := reg[name]; !ok {
+			t.Errorf("Methods lists %q but the registry lacks it", name)
+		}
+	}
+	if len(reg) != len(Methods()) {
+		t.Errorf("registry has %d entries, Methods lists %d", len(reg), len(Methods()))
+	}
+}
+
+func TestSBDFacade(t *testing.T) {
+	x := ZNormalize([]float64{0, 1, 2, 1, 0, -1, -2, -1})
+	d, aligned := SBD(x, x)
+	if d > 1e-9 {
+		t.Errorf("SBD(x,x) = %v", d)
+	}
+	if len(aligned) != len(x) {
+		t.Errorf("aligned length = %d", len(aligned))
+	}
+	if dd := SBDDistance(x, x); math.Abs(dd-d) > 1e-12 {
+		t.Errorf("SBDDistance inconsistent: %v vs %v", dd, d)
+	}
+}
+
+func TestShapeExtractFacade(t *testing.T) {
+	data, _ := twoShapeClasses(10, 32, 10)
+	members := make([][]float64, 10)
+	for i := range members {
+		members[i] = ZNormalize(data[i])
+	}
+	c := ShapeExtract(members, nil)
+	if len(c) != 32 {
+		t.Fatalf("centroid length = %d", len(c))
+	}
+	// The centroid should be closer (on average) to its members than a
+	// random member of the other class is.
+	avgD := 0.0
+	for _, m := range members {
+		avgD += SBDDistance(c, m)
+	}
+	avgD /= float64(len(members))
+	other := ZNormalize(data[len(data)-1])
+	otherD := 0.0
+	for _, m := range members {
+		otherD += SBDDistance(other, m)
+	}
+	otherD /= float64(len(members))
+	if avgD >= otherD {
+		t.Errorf("centroid avg SBD %v not better than cross-class %v", avgD, otherD)
+	}
+}
+
+func TestPredict(t *testing.T) {
+	data, truth := twoShapeClasses(15, 48, 11)
+	res, err := Cluster(data, 2, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicting the training data must agree with the fitted labels.
+	pred := Predict(res.Centroids, data, false)
+	agree := 0
+	for i := range pred {
+		if pred[i] == res.Labels[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(pred)); frac < 0.95 {
+		t.Errorf("predict/fit agreement = %v", frac)
+	}
+	// Fresh queries should land in shape-consistent clusters.
+	fresh, freshTruth := twoShapeClasses(10, 48, 13)
+	fp := Predict(res.Centroids, fresh, false)
+	if p := purity(fp, freshTruth, 2); p < 0.85 {
+		t.Errorf("out-of-sample purity = %v", p)
+	}
+	_ = truth
+}
+
+func TestClusterMaxIterations(t *testing.T) {
+	data, _ := twoShapeClasses(15, 32, 14)
+	res, err := Cluster(data, 2, Options{Seed: 15, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", res.Iterations)
+	}
+}
+
+func TestClusterRejectsBadInput(t *testing.T) {
+	// Ragged lengths.
+	if _, err := Cluster([][]float64{{1, 2, 3}, {1, 2}}, 2, Options{}); err == nil {
+		t.Error("ragged input accepted")
+	}
+	// Non-finite values.
+	if _, err := Cluster([][]float64{{1, math.NaN(), 3}, {1, 2, 3}}, 2, Options{}); err == nil {
+		t.Error("NaN input accepted")
+	}
+	if _, err := Cluster([][]float64{{1, math.Inf(1), 3}, {1, 2, 3}}, 2, Options{}); err == nil {
+		t.Error("Inf input accepted")
+	}
+}
+
+func TestClusterConstantSeriesSurvive(t *testing.T) {
+	// Constant (zero-variance) series z-normalize to zeros; clustering must
+	// stay well defined and terminate.
+	data := [][]float64{
+		{5, 5, 5, 5, 5, 5, 5, 5},
+		{5, 5, 5, 5, 5, 5, 5, 5},
+		{0, 1, 0, -1, 0, 1, 0, -1},
+		{0, 1, 0, -1, 0, 1, 0, -1},
+	}
+	res, err := Cluster(data, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 4 {
+		t.Fatalf("labels = %v", res.Labels)
+	}
+	// The two sine series should share a cluster.
+	if res.Labels[2] != res.Labels[3] {
+		t.Errorf("identical sine series split across clusters: %v", res.Labels)
+	}
+}
+
+func TestEstimateKFindsTrueK(t *testing.T) {
+	data, _ := twoShapeClasses(20, 48, 21)
+	k, sil, err := EstimateK(data, 5, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Errorf("estimated k = %d, want 2 (silhouette %v)", k, sil)
+	}
+	if sil <= 0 {
+		t.Errorf("silhouette = %v, want > 0 on separable data", sil)
+	}
+}
+
+func TestEstimateKErrors(t *testing.T) {
+	if _, _, err := EstimateK([][]float64{{1, 2}}, 3, Options{}); err == nil {
+		t.Error("too few series accepted")
+	}
+	data, _ := twoShapeClasses(5, 16, 22)
+	if _, _, err := EstimateK(data, 1, Options{}); err == nil {
+		t.Error("kMax < 2 accepted")
+	}
+	// kMax beyond n-1 is clamped, not an error.
+	if _, _, err := EstimateK(data[:4], 10, Options{Seed: 1}); err != nil {
+		t.Errorf("clamped kMax errored: %v", err)
+	}
+}
+
+func TestPAAFacadeComposesWithCluster(t *testing.T) {
+	data, truth := twoShapeClasses(15, 64, 23)
+	reduced := make([][]float64, len(data))
+	for i, x := range data {
+		reduced[i] = PAA(x, 16)
+	}
+	res, err := Cluster(reduced, 2, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := purity(res.Labels, truth, 2); p < 0.85 {
+		t.Errorf("purity on PAA-reduced data = %v", p)
+	}
+}
+
+func TestClusterRestartsPicksBetterOptimum(t *testing.T) {
+	data, truth := twoShapeClasses(20, 48, 31)
+	best, err := ClusterRestarts(data, 2, 5, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The best-of-5 run must be at least as good (by inertia) as every
+	// individual restart.
+	for r := 0; r < 5; r++ {
+		res, err := Cluster(data, 2, Options{Seed: 1 + int64(r)*1_000_003})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Inertia > res.Inertia+1e-9 {
+			t.Errorf("restart %d has lower inertia %v than the chosen %v", r, res.Inertia, best.Inertia)
+		}
+	}
+	if p := purity(best.Labels, truth, 2); p < 0.9 {
+		t.Errorf("purity = %v", p)
+	}
+	if _, err := ClusterRestarts(nil, 2, 0, Options{}); err == nil {
+		t.Error("empty data accepted")
+	}
+}
+
+func TestClassify1NN(t *testing.T) {
+	train, trainLabels := twoShapeClasses(15, 48, 41)
+	queries, queryLabels := twoShapeClasses(10, 48, 42)
+	for _, measure := range Measures() {
+		pred, err := Classify1NN(train, trainLabels, queries, measure, false)
+		if err != nil {
+			t.Fatalf("%s: %v", measure, err)
+		}
+		correct := 0
+		for i := range pred {
+			if pred[i] == queryLabels[i] {
+				correct++
+			}
+		}
+		if acc := float64(correct) / float64(len(pred)); acc < 0.8 {
+			t.Errorf("%s: accuracy %v on separable classes", measure, acc)
+		}
+	}
+}
+
+func TestClassify1NNErrors(t *testing.T) {
+	train, labels := twoShapeClasses(3, 16, 43)
+	if _, err := Classify1NN(nil, nil, train, "ED", false); err == nil {
+		t.Error("empty train accepted")
+	}
+	if _, err := Classify1NN(train, labels[:2], train, "ED", false); err == nil {
+		t.Error("misaligned labels accepted")
+	}
+	if _, err := Classify1NN(train, labels, train, "bogus", false); err == nil {
+		t.Error("unknown measure accepted")
+	}
+}
