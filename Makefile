@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test test-short test-race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Fast subset: skips the multi-minute experiment sweeps.
+test-short:
+	$(GO) test -short ./...
+
+# Race-detector pass over the worker pools (dist matrix builds, 1-NN
+# evaluation, experiment sweeps) and the atomic counters in internal/obs.
+test-race:
+	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/dist/ ./internal/eval/ .
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

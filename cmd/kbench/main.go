@@ -3,7 +3,9 @@
 //
 // Usage:
 //
-//	kbench [-datasets N] [-runs R] [-spectral-runs S] [-seed X] [-v] <experiment>...
+//	kbench [-datasets N] [-runs R] [-spectral-runs S] [-seed X] [-v]
+//	       [-metrics out.json] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	       <experiment>...
 //
 // Experiments: table2, table3, table4, fig2, fig3, fig4, fig5, fig6, fig7,
 // fig8, fig9, fig10, fig11, fig12, ablations, table2x, kestimation,
@@ -12,6 +14,13 @@
 // Table 2 and table-3/4 experiments print rows in the paper's layout;
 // figure experiments print the series/CSV data behind each plot. See
 // EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// -metrics writes a structured JSON report of the run: kernel counters (FFT
+// transforms, SBD/ED/DTW evaluations, eigensolver iterations), hierarchical
+// phase timings, and one record per (method, dataset) unit of work,
+// including per-iteration inertia/churn trajectories for the iterative
+// clustering methods. -cpuprofile/-memprofile capture runtime/pprof
+// profiles of the same run.
 package main
 
 import (
@@ -20,11 +29,32 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
 	"time"
 
 	"kshape/internal/experiments"
+	"kshape/internal/obs"
 	"kshape/internal/plot"
 )
+
+// experimentNames lists every runnable experiment, in the order of the
+// paper's presentation. "all" expands to the tables and figures (not the
+// auxiliary kestimation/datasets reports), as before.
+var experimentNames = []string{
+	"table2", "table3", "table4",
+	"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+	"fig10", "fig11", "fig12",
+	"ablations", "table2x", "kestimation", "datasets",
+}
+
+var allExperiments = []string{
+	"table2", "table3", "table4", "fig2", "fig3", "fig4",
+	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+	"ablations", "table2x",
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -42,11 +72,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "base random seed")
 	verbose := fs.Bool("v", false, "print progress lines to stderr")
 	svgDir := fs.String("svgdir", "", "also write the scatter/rank/runtime figures as SVG files into this directory")
+	metricsPath := fs.String("metrics", "", "write a JSON metrics report (kernel counters, phase timings, per-run records) to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a runtime/pprof heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("no experiment named; choose from table2 table3 table4 fig2..fig12 all")
+		return fmt.Errorf("no experiment named; choose from: %s, all", strings.Join(experimentNames, " "))
 	}
 
 	cfg := experiments.ReducedConfig(*nDatasets)
@@ -57,16 +90,58 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Progress = stderr
 	}
 
+	valid := map[string]bool{}
+	for _, e := range experimentNames {
+		valid[e] = true
+	}
 	want := map[string]bool{}
 	for _, a := range fs.Args() {
 		if a == "all" {
-			for _, e := range []string{"table2", "table3", "table4", "fig2", "fig3", "fig4",
-				"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "table2x"} {
+			for _, e := range allExperiments {
 				want[e] = true
 			}
 			continue
 		}
+		if !valid[a] {
+			return fmt.Errorf("unknown experiment %q; valid experiments: %s, all", a, strings.Join(experimentNames, " "))
+		}
 		want[a] = true
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// With -metrics, enable the kernel counters for the duration of the
+	// run and collect per-run records plus a phase-span trace.
+	var collector *obs.Collector
+	var trace *obs.Trace
+	var countersBefore obs.Counters
+	if *metricsPath != "" {
+		collector = obs.NewCollector()
+		cfg.Metrics = collector
+		prev := obs.SetEnabled(true)
+		defer obs.SetEnabled(prev)
+		countersBefore = obs.ReadCounters()
+		trace = obs.NewTrace("kbench")
+	}
+	// phase wraps one experiment's computation in a trace span.
+	phase := func(name string, fn func()) {
+		if trace == nil {
+			fn()
+			return
+		}
+		sp := trace.Root().Child(name)
+		fn()
+		sp.End()
 	}
 
 	// Experiments share intermediate results: Table 2 feeds figs 5-6,
@@ -99,16 +174,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	started := time.Now()
 
 	if needT2 {
-		r := experiments.Table2(cfg)
-		t2 = &r
+		phase("table2", func() {
+			r := experiments.Table2(cfg)
+			t2 = &r
+		})
 	}
 	if needT3 {
-		r := experiments.Table3(cfg)
-		t3 = &r
+		phase("table3", func() {
+			r := experiments.Table3(cfg)
+			t3 = &r
+		})
 	}
 	if needT4 {
-		r := experiments.Table4(cfg)
-		t4 = &r
+		phase("table4", func() {
+			r := experiments.Table4(cfg)
+			t4 = &r
+		})
 	}
 
 	if want["table2"] {
@@ -125,105 +206,165 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if want["fig2"] {
 		section("Figure 2")
-		experiments.WriteFig2(stdout, experiments.Fig2(cfg))
+		phase("fig2", func() { experiments.WriteFig2(stdout, experiments.Fig2(cfg)) })
 	}
 	if want["fig3"] {
 		section("Figure 3")
-		experiments.WriteFig3(stdout, experiments.Fig3(cfg))
+		phase("fig3", func() { experiments.WriteFig3(stdout, experiments.Fig3(cfg)) })
 	}
 	if want["fig4"] {
 		section("Figure 4")
-		experiments.WriteFig4(stdout, experiments.Fig4(cfg))
+		phase("fig4", func() { experiments.WriteFig4(stdout, experiments.Fig4(cfg)) })
 	}
 	if want["fig5"] {
 		section("Figure 5")
-		f5 := experiments.Fig5(cfg, *t2)
-		experiments.WriteScatter(stdout, "Figure 5a: SBD vs ED (1-NN accuracy)", "ED", "SBD", f5.Names, f5.ED, f5.SBD)
-		experiments.WriteScatter(stdout, "Figure 5b: SBD vs DTW (1-NN accuracy)", "DTW", "SBD", f5.Names, f5.DTW, f5.SBD)
-		writeSVG("fig5a.svg", plot.Scatter("SBD vs ED (1-NN accuracy)", "ED", "SBD", f5.ED, f5.SBD, 0.3, 1.0))
-		writeSVG("fig5b.svg", plot.Scatter("SBD vs DTW (1-NN accuracy)", "DTW", "SBD", f5.DTW, f5.SBD, 0.3, 1.0))
+		phase("fig5", func() {
+			f5 := experiments.Fig5(cfg, *t2)
+			experiments.WriteScatter(stdout, "Figure 5a: SBD vs ED (1-NN accuracy)", "ED", "SBD", f5.Names, f5.ED, f5.SBD)
+			experiments.WriteScatter(stdout, "Figure 5b: SBD vs DTW (1-NN accuracy)", "DTW", "SBD", f5.Names, f5.DTW, f5.SBD)
+			writeSVG("fig5a.svg", plot.Scatter("SBD vs ED (1-NN accuracy)", "ED", "SBD", f5.ED, f5.SBD, 0.3, 1.0))
+			writeSVG("fig5b.svg", plot.Scatter("SBD vs DTW (1-NN accuracy)", "DTW", "SBD", f5.DTW, f5.SBD, 0.3, 1.0))
+		})
 	}
 	if want["fig6"] {
 		section("Figure 6")
-		f6 := experiments.Fig6(cfg, *t2)
-		experiments.WriteRanks(stdout, "Figure 6: distance-measure average ranks (Friedman + Nemenyi)", f6)
-		writeSVG("fig6.svg", plot.CDRanks("Distance-measure ranks", f6.Names, f6.AvgRanks, f6.CD, f6.Groups))
+		phase("fig6", func() {
+			f6 := experiments.Fig6(cfg, *t2)
+			experiments.WriteRanks(stdout, "Figure 6: distance-measure average ranks (Friedman + Nemenyi)", f6)
+			writeSVG("fig6.svg", plot.CDRanks("Distance-measure ranks", f6.Names, f6.AvgRanks, f6.CD, f6.Groups))
+		})
 	}
 	if want["fig7"] {
 		section("Figure 7")
-		f7 := experiments.Fig7(cfg, *t3)
-		experiments.WriteScatter(stdout, "Figure 7a: k-Shape vs KSC (Rand Index)", "KSC", "k-Shape", f7.Names, f7.KSC, f7.KShape)
-		experiments.WriteScatter(stdout, "Figure 7b: k-Shape vs k-DBA (Rand Index)", "k-DBA", "k-Shape", f7.Names, f7.KDBA, f7.KShape)
-		writeSVG("fig7a.svg", plot.Scatter("k-Shape vs KSC (Rand Index)", "KSC", "k-Shape", f7.KSC, f7.KShape, 0.3, 1.0))
-		writeSVG("fig7b.svg", plot.Scatter("k-Shape vs k-DBA (Rand Index)", "k-DBA", "k-Shape", f7.KDBA, f7.KShape, 0.3, 1.0))
+		phase("fig7", func() {
+			f7 := experiments.Fig7(cfg, *t3)
+			experiments.WriteScatter(stdout, "Figure 7a: k-Shape vs KSC (Rand Index)", "KSC", "k-Shape", f7.Names, f7.KSC, f7.KShape)
+			experiments.WriteScatter(stdout, "Figure 7b: k-Shape vs k-DBA (Rand Index)", "k-DBA", "k-Shape", f7.Names, f7.KDBA, f7.KShape)
+			writeSVG("fig7a.svg", plot.Scatter("k-Shape vs KSC (Rand Index)", "KSC", "k-Shape", f7.KSC, f7.KShape, 0.3, 1.0))
+			writeSVG("fig7b.svg", plot.Scatter("k-Shape vs k-DBA (Rand Index)", "k-DBA", "k-Shape", f7.KDBA, f7.KShape, 0.3, 1.0))
+		})
 	}
 	if want["fig8"] {
 		section("Figure 8")
-		f8 := experiments.Fig8(cfg, *t3)
-		experiments.WriteRanks(stdout, "Figure 8: k-means-variant average ranks (Friedman + Nemenyi)", f8)
-		writeSVG("fig8.svg", plot.CDRanks("k-means-variant ranks", f8.Names, f8.AvgRanks, f8.CD, f8.Groups))
+		phase("fig8", func() {
+			f8 := experiments.Fig8(cfg, *t3)
+			experiments.WriteRanks(stdout, "Figure 8: k-means-variant average ranks (Friedman + Nemenyi)", f8)
+			writeSVG("fig8.svg", plot.CDRanks("k-means-variant ranks", f8.Names, f8.AvgRanks, f8.CD, f8.Groups))
+		})
 	}
 	if want["fig9"] {
 		section("Figure 9")
-		f9 := experiments.Fig9(cfg, *t3, *t4)
-		experiments.WriteRanks(stdout, "Figure 9: methods beating k-AVG+ED, average ranks (Friedman + Nemenyi)", f9)
-		writeSVG("fig9.svg", plot.CDRanks("Methods beating k-AVG+ED", f9.Names, f9.AvgRanks, f9.CD, f9.Groups))
+		phase("fig9", func() {
+			f9 := experiments.Fig9(cfg, *t3, *t4)
+			experiments.WriteRanks(stdout, "Figure 9: methods beating k-AVG+ED, average ranks (Friedman + Nemenyi)", f9)
+			writeSVG("fig9.svg", plot.CDRanks("Methods beating k-AVG+ED", f9.Names, f9.AvgRanks, f9.CD, f9.Groups))
+		})
 	}
 	if want["fig10"] {
 		section("Figure 10")
-		experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormOptimalScaling))
+		phase("fig10", func() {
+			experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormOptimalScaling))
+		})
 	}
 	if want["fig11"] {
 		section("Figure 11")
-		experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormValues01))
-		experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormZScore))
+		phase("fig11", func() {
+			experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormValues01))
+			experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormZScore))
+		})
 	}
 	if want["fig12"] {
 		section("Figure 12")
-		f12 := experiments.Fig12(cfg)
-		experiments.WriteFig12(stdout, f12)
-		if len(f12.VaryN) > 0 {
-			xs := make([]float64, len(f12.VaryN))
-			kshapeS := make([]float64, len(f12.VaryN))
-			kavgS := make([]float64, len(f12.VaryN))
-			for i, p := range f12.VaryN {
-				xs[i] = float64(p.N)
-				kshapeS[i] = p.KShapeSeconds
-				kavgS[i] = p.KAvgEDSeconds
+		phase("fig12", func() {
+			f12 := experiments.Fig12(cfg)
+			experiments.WriteFig12(stdout, f12)
+			if len(f12.VaryN) > 0 {
+				xs := make([]float64, len(f12.VaryN))
+				kshapeS := make([]float64, len(f12.VaryN))
+				kavgS := make([]float64, len(f12.VaryN))
+				for i, p := range f12.VaryN {
+					xs[i] = float64(p.N)
+					kshapeS[i] = p.KShapeSeconds
+					kavgS[i] = p.KAvgEDSeconds
+				}
+				writeSVG("fig12a.svg", plot.Lines("Runtime vs number of series (CBF)", "n", "seconds", xs,
+					map[string][]float64{"k-Shape": kshapeS, "k-AVG+ED": kavgS}))
 			}
-			writeSVG("fig12a.svg", plot.Lines("Runtime vs number of series (CBF)", "n", "seconds", xs,
-				map[string][]float64{"k-Shape": kshapeS, "k-AVG+ED": kavgS}))
-		}
-		if len(f12.VaryM) > 0 {
-			xs := make([]float64, len(f12.VaryM))
-			kshapeS := make([]float64, len(f12.VaryM))
-			kavgS := make([]float64, len(f12.VaryM))
-			for i, p := range f12.VaryM {
-				xs[i] = float64(p.M)
-				kshapeS[i] = p.KShapeSeconds
-				kavgS[i] = p.KAvgEDSeconds
+			if len(f12.VaryM) > 0 {
+				xs := make([]float64, len(f12.VaryM))
+				kshapeS := make([]float64, len(f12.VaryM))
+				kavgS := make([]float64, len(f12.VaryM))
+				for i, p := range f12.VaryM {
+					xs[i] = float64(p.M)
+					kshapeS[i] = p.KShapeSeconds
+					kavgS[i] = p.KAvgEDSeconds
+				}
+				writeSVG("fig12b.svg", plot.Lines("Runtime vs series length (CBF)", "m", "seconds", xs,
+					map[string][]float64{"k-Shape": kshapeS, "k-AVG+ED": kavgS}))
 			}
-			writeSVG("fig12b.svg", plot.Lines("Runtime vs series length (CBF)", "m", "seconds", xs,
-				map[string][]float64{"k-Shape": kshapeS, "k-AVG+ED": kavgS}))
-		}
+		})
 	}
 	if want["ablations"] {
 		section("Ablations")
-		ab := experiments.Ablations(cfg)
-		experiments.WriteClusterTable(stdout,
-			"Design-choice ablations vs full k-Shape (Rand Index)", ab.Rows[0], ab.Rows, true)
+		phase("ablations", func() {
+			ab := experiments.Ablations(cfg)
+			experiments.WriteClusterTable(stdout,
+				"Design-choice ablations vs full k-Shape (Rand Index)", ab.Rows[0], ab.Rows, true)
+		})
 	}
 	if want["table2x"] {
 		section("Table 2 extended")
-		experiments.WriteTable2(stdout, experiments.Table2Extended(cfg))
+		phase("table2x", func() {
+			experiments.WriteTable2(stdout, experiments.Table2Extended(cfg))
+		})
 	}
 	if want["kestimation"] {
 		section("k estimation")
-		experiments.WriteKEstimation(stdout, experiments.KEstimation(cfg))
+		phase("kestimation", func() {
+			experiments.WriteKEstimation(stdout, experiments.KEstimation(cfg))
+		})
 	}
 	if want["datasets"] {
 		section("Datasets")
-		experiments.WriteDatasetInventory(stdout, experiments.Inventory(cfg))
+		phase("datasets", func() {
+			experiments.WriteDatasetInventory(stdout, experiments.Inventory(cfg))
+		})
+	}
+
+	if *metricsPath != "" {
+		names := make([]string, 0, len(want))
+		for e := range want {
+			names = append(names, e)
+		}
+		sort.Strings(names)
+		report := collector.BuildReport("kbench", args, names,
+			obs.ReadCounters().Sub(countersBefore), trace.Finish())
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("metrics: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		fmt.Fprintf(stderr, "wrote metrics report to %s\n", *metricsPath)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
 	}
 	fmt.Fprintf(stderr, "kbench finished in %v\n", time.Since(started).Round(time.Millisecond))
 	return nil

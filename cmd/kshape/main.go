@@ -10,6 +10,10 @@
 // values, separated by commas, tabs, or spaces. Output is CSV with one line
 // per series: index, assigned cluster, and (when labels exist) the true
 // label; a summary with the Rand Index is printed to stderr.
+//
+// With -trace, a per-iteration convergence table (inertia, label churn,
+// empty-cluster reseeds, refinement/assignment wall time, cluster sizes)
+// and a kernel-counter summary are printed to stderr after clustering.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"text/tabwriter"
 
 	"kshape"
 	"kshape/internal/dataset"
@@ -40,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed for initialization")
 	outPath := fs.String("out", "", "write assignments CSV to this file (default stdout)")
 	centroidsPath := fs.String("centroids", "", "write centroid series CSV to this file")
+	traceRun := fs.Bool("trace", false, "print a per-iteration convergence table and kernel counters to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,7 +60,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	data := ts.Rows(series)
-	res, err := kshape.Cluster(data, *k, kshape.Options{Seed: *seed, Method: *method})
+	res, err := kshape.Cluster(data, *k, kshape.Options{Seed: *seed, Method: *method, CollectTrace: *traceRun})
 	if err != nil {
 		return err
 	}
@@ -90,11 +96,56 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	fmt.Fprintf(stderr, "%s: %d series, k=%d, %d iterations (converged=%v)\n",
 		*method, len(series), *k, res.Iterations, res.Converged)
+	if *traceRun && res.Trace != nil {
+		writeTrace(stderr, res.Trace)
+	}
 	if hasLabels(series) {
 		ri := eval.RandIndex(res.Labels, ts.Labels(series))
 		fmt.Fprintf(stderr, "Rand Index vs file labels: %.4f\n", ri)
 	}
 	return nil
+}
+
+// writeTrace renders the per-iteration convergence table and the kernel
+// counters accrued during the run.
+func writeTrace(w io.Writer, tr *kshape.RunTrace) {
+	fmt.Fprintf(w, "\nconvergence trace (%s, %.1f ms total):\n", tr.Method, float64(tr.TotalNS)/1e6)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "iter\tinertia\tchurn\treseeds\trefine_ms\tassign_ms\tcluster_sizes")
+	for _, it := range tr.Iterations {
+		sizes := make([]string, len(it.ClusterSizes))
+		for i, s := range it.ClusterSizes {
+			sizes[i] = fmt.Sprintf("%d", s)
+		}
+		fmt.Fprintf(tw, "%d\t%.4f\t%d\t%d\t%.2f\t%.2f\t%s\n",
+			it.Iteration, it.Inertia, it.LabelChurn, it.Reseeds,
+			float64(it.RefineNS)/1e6, float64(it.AssignNS)/1e6,
+			strings.Join(sizes, "/"))
+	}
+	tw.Flush()
+
+	c := tr.Counters
+	pairs := []struct {
+		name  string
+		value int64
+	}{
+		{"fft", c.FFT}, {"ifft", c.IFFT}, {"sbd", c.SBD}, {"ed", c.ED},
+		{"dtw", c.DTW}, {"eigen_iterations", c.EigenIterations},
+		{"eigen_decompositions", c.EigenDecompositions},
+		{"shape_extractions", c.ShapeExtractions}, {"reseeds", c.Reseeds},
+	}
+	fmt.Fprint(w, "kernel counters:")
+	any := false
+	for _, p := range pairs {
+		if p.value != 0 {
+			fmt.Fprintf(w, " %s=%d", p.name, p.value)
+			any = true
+		}
+	}
+	if !any {
+		fmt.Fprint(w, " (none)")
+	}
+	fmt.Fprintln(w)
 }
 
 func hasLabels(series []ts.Series) bool {

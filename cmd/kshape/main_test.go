@@ -98,3 +98,33 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunTraceTable(t *testing.T) {
+	path := writeToyFile(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-k", "2", "-seed", "3", "-trace", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	errOut := stderr.String()
+	for _, want := range []string{"convergence trace", "inertia", "churn", "refine_ms", "kernel counters:", "sbd="} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("-trace output missing %q; stderr:\n%s", want, errOut)
+		}
+	}
+	// One table row per iteration: rows start with the 1-based iteration
+	// index, so "1\t" must appear after the header.
+	if !strings.Contains(errOut, "iter") {
+		t.Errorf("-trace output missing table header; stderr:\n%s", errOut)
+	}
+}
+
+func TestRunNoTraceByDefault(t *testing.T) {
+	path := writeToyFile(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-k", "2", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stderr.String(), "convergence trace") {
+		t.Errorf("trace printed without -trace; stderr:\n%s", stderr.String())
+	}
+}

@@ -3,6 +3,7 @@ package avg
 import (
 	"kshape/internal/dist"
 	"kshape/internal/linalg"
+	"kshape/internal/obs"
 	"kshape/internal/ts"
 )
 
@@ -48,6 +49,7 @@ func ShapeExtractionAligned(aligned [][]float64) []float64 {
 	if len(aligned) == 0 {
 		return nil
 	}
+	obs.Inc(obs.CounterShapeExtractions)
 	m := len(aligned[0])
 	s := linalg.NewSym(m)
 	for _, a := range aligned {

@@ -12,6 +12,7 @@ import (
 	"kshape/internal/avg"
 	"kshape/internal/core"
 	"kshape/internal/dist"
+	"kshape/internal/obs"
 )
 
 // Clusterer partitions equal-length series into k clusters.
@@ -26,6 +27,36 @@ type Clusterer interface {
 	// produce identical results (true for hierarchical clustering), which
 	// the experiment harness uses to decide how many runs to average.
 	Deterministic() bool
+}
+
+// Opts carries engine-level controls for clusterers built on the iterative
+// refinement engine: the iteration cap and the per-iteration observation
+// hook. The zero value means "engine defaults, no observation".
+type Opts struct {
+	// MaxIterations caps the refinement loop; 0 means the engine default.
+	MaxIterations int
+	// OnIteration, if non-nil, receives per-iteration statistics
+	// (core.Config.OnIteration semantics).
+	OnIteration func(obs.IterationStats)
+}
+
+// Iterative is implemented by clusterers whose refinement loop accepts
+// engine options. Every Lloyd-style method in this package implements it;
+// matrix-based methods (hierarchical, PAM, spectral) do not iterate and
+// ignore these controls.
+type Iterative interface {
+	ClusterOpts(data [][]float64, k int, rng *rand.Rand, opt Opts) (*core.Result, error)
+}
+
+// Run clusters data with c, threading opt through when c supports engine
+// options. This is the single dispatch point callers should use so that
+// instrumentation hooks fire uniformly across methods; for non-iterative
+// methods the options are (correctly) inert and OnIteration never fires.
+func Run(c Clusterer, data [][]float64, k int, rng *rand.Rand, opt Opts) (*core.Result, error) {
+	if it, ok := c.(Iterative); ok {
+		return it.ClusterOpts(data, k, rng, opt)
+	}
+	return c.Cluster(data, k, rng)
 }
 
 // kmeansVariant is a Lloyd-style clusterer with pluggable distance and
@@ -44,11 +75,18 @@ func (v kmeansVariant) Deterministic() bool { return false }
 
 // Cluster implements Clusterer.
 func (v kmeansVariant) Cluster(data [][]float64, k int, rng *rand.Rand) (*core.Result, error) {
+	return v.ClusterOpts(data, k, rng, Opts{})
+}
+
+// ClusterOpts implements Iterative.
+func (v kmeansVariant) ClusterOpts(data [][]float64, k int, rng *rand.Rand, opt Opts) (*core.Result, error) {
 	return core.Lloyd(data, core.Config{
-		K:        k,
-		Distance: v.distance,
-		Centroid: v.centroid,
-		Rand:     rng,
+		K:             k,
+		MaxIterations: opt.MaxIterations,
+		Distance:      v.distance,
+		Centroid:      v.centroid,
+		Rand:          rng,
+		OnIteration:   opt.OnIteration,
 	})
 }
 
@@ -125,6 +163,14 @@ func (kshapeClusterer) Deterministic() bool { return false }
 // Cluster implements Clusterer.
 func (kshapeClusterer) Cluster(data [][]float64, k int, rng *rand.Rand) (*core.Result, error) {
 	return core.KShape(data, k, rng)
+}
+
+// ClusterOpts implements Iterative.
+func (kshapeClusterer) ClusterOpts(data [][]float64, k int, rng *rand.Rand, opt Opts) (*core.Result, error) {
+	return core.KShapeRun(data, k, rng, core.KShapeOpts{
+		MaxIterations: opt.MaxIterations,
+		OnIteration:   opt.OnIteration,
+	})
 }
 
 // NewKShapeDTW returns the k-Shape+DTW ablation of Table 3.

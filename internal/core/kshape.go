@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"kshape/internal/avg"
 	"kshape/internal/dist"
+	"kshape/internal/obs"
 	"kshape/internal/ts"
 )
 
@@ -46,6 +48,12 @@ type Config struct {
 	// InitialLabels, if non-nil, seeds the assignment deterministically
 	// (length n, values in [0, K)).
 	InitialLabels []int
+	// OnIteration, if non-nil, is invoked synchronously after every
+	// refinement iteration with that iteration's statistics (inertia,
+	// label churn, per-phase wall time, cluster sizes). The callback runs
+	// on the engine's goroutine; per-iteration bookkeeping is only
+	// performed when it is set.
+	OnIteration func(obs.IterationStats)
 }
 
 // Result reports a clustering.
@@ -135,6 +143,7 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 
 		// Refinement step: recompute each centroid from its members, using
 		// the previous centroid as the alignment reference.
+		refineStart := time.Now()
 		members := make([][][]float64, k)
 		for i, l := range labels {
 			members[l] = append(members[l], data[i])
@@ -142,8 +151,10 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 		for j := 0; j < k; j++ {
 			centroids[j] = cfg.Centroid(members[j], centroids[j])
 		}
+		refineNS := time.Since(refineStart).Nanoseconds()
 
 		// Assignment step: each series moves to its closest centroid.
+		assignStart := time.Now()
 		for i, x := range data {
 			best, bestJ := math.Inf(1), labels[i]
 			for j := 0; j < k; j++ {
@@ -156,10 +167,15 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 		}
 
 		// Re-seed emptied clusters with the worst-fitting series.
-		reseedEmptyClusters(data, labels, assignDist, k)
+		reseeds := reseedEmptyClusters(data, labels, assignDist, k)
 
 		res.Iterations = iter + 1
-		if equalLabels(labels, prev) {
+		converged := equalLabels(labels, prev)
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(iterationStats(iter, labels, prev, assignDist, k,
+				refineNS, time.Since(assignStart).Nanoseconds(), reseeds))
+		}
+		if converged {
 			res.Converged = true
 			break
 		}
@@ -172,12 +188,14 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 }
 
 // reseedEmptyClusters moves, for every empty cluster, the series with the
-// largest assignment distance (among clusters with >1 member) into it.
-func reseedEmptyClusters(data [][]float64, labels []int, assignDist []float64, k int) {
+// largest assignment distance (among clusters with >1 member) into it, and
+// returns the number of clusters re-seeded.
+func reseedEmptyClusters(data [][]float64, labels []int, assignDist []float64, k int) int {
 	counts := make([]int, k)
 	for _, l := range labels {
 		counts[l]++
 	}
+	reseeds := 0
 	for j := 0; j < k; j++ {
 		if counts[j] > 0 {
 			continue
@@ -195,6 +213,37 @@ func reseedEmptyClusters(data [][]float64, labels []int, assignDist []float64, k
 		labels[worstI] = j
 		counts[j] = 1
 		assignDist[worstI] = 0
+		reseeds++
+	}
+	obs.Add(obs.CounterReseeds, int64(reseeds))
+	return reseeds
+}
+
+// iterationStats assembles the per-iteration record handed to OnIteration.
+func iterationStats(iter int, labels, prev []int, assignDist []float64, k int,
+	refineNS, assignNS int64, reseeds int) obs.IterationStats {
+	churn := 0
+	for i := range labels {
+		if labels[i] != prev[i] {
+			churn++
+		}
+	}
+	sizes := make([]int, k)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	inertia := 0.0
+	for _, d := range assignDist {
+		inertia += d * d
+	}
+	return obs.IterationStats{
+		Iteration:    iter + 1,
+		Inertia:      inertia,
+		LabelChurn:   churn,
+		ClusterSizes: sizes,
+		RefineNS:     refineNS,
+		AssignNS:     assignNS,
+		Reseeds:      reseeds,
 	}
 }
 
@@ -224,6 +273,25 @@ func KShape(data [][]float64, k int, rng *rand.Rand) (*Result, error) {
 // (labels in [0, k), length len(data)); rng may be nil when initLabels is
 // provided.
 func KShapeInit(data [][]float64, k int, rng *rand.Rand, initLabels []int) (*Result, error) {
+	return KShapeRun(data, k, rng, KShapeOpts{InitialLabels: initLabels})
+}
+
+// KShapeOpts bundles the optional engine controls of the optimized k-Shape
+// loop, mirroring the corresponding Config fields of the generic engine.
+type KShapeOpts struct {
+	// MaxIterations caps the refinement loop; 0 means DefaultMaxIterations.
+	MaxIterations int
+	// InitialLabels, if non-nil, seeds the assignment deterministically.
+	InitialLabels []int
+	// OnIteration, if non-nil, receives per-iteration statistics exactly
+	// as in Config.OnIteration.
+	OnIteration func(obs.IterationStats)
+}
+
+// KShapeRun is the optimized k-Shape loop of KShape with explicit engine
+// options (iteration cap, deterministic initialization, per-iteration
+// observation).
+func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result, error) {
 	n := len(data)
 	if n == 0 {
 		return nil, ErrNoData
@@ -239,11 +307,11 @@ func KShapeInit(data [][]float64, k int, rng *rand.Rand, initLabels []int) (*Res
 	}
 	labels := make([]int, n)
 	switch {
-	case initLabels != nil:
-		if len(initLabels) != n {
-			return nil, fmt.Errorf("core: initial labels length %d, want %d", len(initLabels), n)
+	case opt.InitialLabels != nil:
+		if len(opt.InitialLabels) != n {
+			return nil, fmt.Errorf("core: initial labels length %d, want %d", len(opt.InitialLabels), n)
 		}
-		for i, l := range initLabels {
+		for i, l := range opt.InitialLabels {
 			if l < 0 || l >= k {
 				return nil, fmt.Errorf("core: initial label %d out of [0, %d)", l, k)
 			}
@@ -256,6 +324,10 @@ func KShapeInit(data [][]float64, k int, rng *rand.Rand, initLabels []int) (*Res
 	default:
 		return nil, errors.New("core: a random source is required without initial labels")
 	}
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
 
 	batch := dist.NewSBDBatch(data)
 	centroids := make([][]float64, k)
@@ -265,11 +337,12 @@ func KShapeInit(data [][]float64, k int, rng *rand.Rand, initLabels []int) (*Res
 	assignDist := make([]float64, n)
 	res := &Result{Labels: labels, Centroids: centroids}
 	prev := make([]int, n)
-	for iter := 0; iter < DefaultMaxIterations; iter++ {
+	for iter := 0; iter < maxIter; iter++ {
 		copy(prev, labels)
 
 		// Refinement: align members to the previous centroid with one
 		// batched query, then extract the new shape.
+		refineStart := time.Now()
 		memberIdx := make([][]int, k)
 		for i, l := range labels {
 			memberIdx[l] = append(memberIdx[l], i)
@@ -294,8 +367,10 @@ func KShapeInit(data [][]float64, k int, rng *rand.Rand, initLabels []int) (*Res
 			}
 			centroids[j] = avg.ShapeExtractionAligned(aligned)
 		}
+		refineNS := time.Since(refineStart).Nanoseconds()
 
 		// Assignment: one batched query per centroid.
+		assignStart := time.Now()
 		for i := range assignDist {
 			assignDist[i] = math.Inf(1)
 		}
@@ -309,9 +384,14 @@ func KShapeInit(data [][]float64, k int, rng *rand.Rand, initLabels []int) (*Res
 			}
 		}
 
-		reseedEmptyClusters(data, labels, assignDist, k)
+		reseeds := reseedEmptyClusters(data, labels, assignDist, k)
 		res.Iterations = iter + 1
-		if equalLabels(labels, prev) {
+		converged := equalLabels(labels, prev)
+		if opt.OnIteration != nil {
+			opt.OnIteration(iterationStats(iter, labels, prev, assignDist, k,
+				refineNS, time.Since(assignStart).Nanoseconds(), reseeds))
+		}
+		if converged {
 			res.Converged = true
 			break
 		}

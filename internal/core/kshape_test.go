@@ -8,6 +8,7 @@ import (
 
 	"kshape/internal/avg"
 	"kshape/internal/dist"
+	"kshape/internal/obs"
 	"kshape/internal/ts"
 )
 
@@ -343,5 +344,108 @@ func TestKShapeInitValidation(t *testing.T) {
 	}
 	if _, err := KShapeInit([][]float64{{1, 2}, {1}}, 2, nil, []int{0, 1}); err == nil {
 		t.Error("ragged data accepted")
+	}
+}
+
+// checkTrajectory validates the invariants every OnIteration trajectory
+// must satisfy: one callback per executed iteration with 1-based numbering,
+// cluster sizes partitioning the input, non-negative phase timings, zero
+// churn exactly on the converged final iteration, and (for objectives whose
+// refinement step is an exact minimizer, like k-means) non-increasing
+// inertia across reseed-free iterations.
+func checkTrajectory(t *testing.T, stats []obs.IterationStats, res *Result, n int, wantMonotone bool) {
+	t.Helper()
+	if len(stats) != res.Iterations {
+		t.Fatalf("OnIteration fired %d times, want once per iteration (%d)", len(stats), res.Iterations)
+	}
+	for i, it := range stats {
+		if it.Iteration != i+1 {
+			t.Errorf("stats[%d].Iteration = %d, want %d", i, it.Iteration, i+1)
+		}
+		total := 0
+		for _, s := range it.ClusterSizes {
+			total += s
+		}
+		if total != n {
+			t.Errorf("iteration %d cluster sizes sum to %d, want %d", it.Iteration, total, n)
+		}
+		if it.RefineNS < 0 || it.AssignNS < 0 {
+			t.Errorf("iteration %d has negative phase time: refine=%d assign=%d", it.Iteration, it.RefineNS, it.AssignNS)
+		}
+		if wantMonotone && i > 0 && it.Reseeds == 0 {
+			prev := stats[i-1].Inertia
+			if it.Inertia > prev*(1+1e-9)+1e-12 {
+				t.Errorf("inertia increased at iteration %d: %g -> %g", it.Iteration, prev, it.Inertia)
+			}
+		}
+	}
+	last := stats[len(stats)-1]
+	if res.Converged && last.LabelChurn != 0 {
+		t.Errorf("converged run ended with churn %d, want 0", last.LabelChurn)
+	}
+	if math.Abs(last.Inertia-res.Inertia) > 1e-9*(1+math.Abs(res.Inertia)) {
+		t.Errorf("final iteration inertia %g != Result.Inertia %g", last.Inertia, res.Inertia)
+	}
+}
+
+func TestLloydOnIterationMonotoneInertia(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data, _ := twoClassShiftedData(30, 64, rng)
+
+	var stats []obs.IterationStats
+	res, err := Lloyd(data, Config{
+		K:        2,
+		Distance: dist.ED,
+		Centroid: func(members [][]float64, prev []float64) []float64 {
+			if len(members) == 0 {
+				return prev
+			}
+			return avg.Mean(members)
+		},
+		Rand:        rand.New(rand.NewSource(3)),
+		OnIteration: func(s obs.IterationStats) { stats = append(stats, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("want a multi-iteration run to observe, got %d iterations", res.Iterations)
+	}
+	// ED assignment + mean refinement is exact k-means: the sum of squared
+	// assignment distances (what IterationStats.Inertia records) must never
+	// increase between reseed-free iterations.
+	checkTrajectory(t, stats, res, len(data), true)
+}
+
+func TestKShapeRunOnIteration(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data, _ := twoClassShiftedData(25, 64, rng)
+
+	var stats []obs.IterationStats
+	res, err := KShapeRun(data, 2, rand.New(rand.NewSource(5)), KShapeOpts{
+		OnIteration: func(s obs.IterationStats) { stats = append(stats, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape extraction is not an exact SBD minimizer, so only the structural
+	// invariants are asserted, not monotone inertia.
+	checkTrajectory(t, stats, res, len(data), false)
+}
+
+func TestKShapeRunMaxIterationsLimitsCallbacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data, _ := twoClassShiftedData(20, 32, rng)
+
+	calls := 0
+	res, err := KShapeRun(data, 2, rand.New(rand.NewSource(4)), KShapeOpts{
+		MaxIterations: 1,
+		OnIteration:   func(obs.IterationStats) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 || calls != 1 {
+		t.Errorf("iterations=%d callbacks=%d, want 1 and 1", res.Iterations, calls)
 	}
 }

@@ -3,6 +3,8 @@ package dist
 import (
 	"fmt"
 	"math"
+
+	"kshape/internal/obs"
 )
 
 // DTW computes the unconstrained Dynamic Time Warping distance between x
@@ -19,6 +21,7 @@ func DTW(x, y []float64) float64 {
 // diagonal (for equal lengths). The implementation uses two rolling rows,
 // so memory is O(m) while time is O(m·w) for band width w.
 func CDTW(x, y []float64, window int) float64 {
+	obs.Inc(obs.CounterDTW)
 	n, m := len(x), len(y)
 	if n == 0 || m == 0 {
 		if n == m {

@@ -3,6 +3,8 @@ package dist
 import (
 	"fmt"
 	"math"
+
+	"kshape/internal/obs"
 )
 
 // ED computes the Euclidean distance between equal-length series x and y
@@ -23,6 +25,9 @@ func SquaredED(x, y []float64) float64 {
 		d := x[i] - y[i]
 		s += d * d
 	}
+	// Counted after the loop: an opaque call before it keeps the loop from
+	// optimizing and costs ~40% on this sub-100ns kernel; here it is free.
+	obs.Inc(obs.CounterED)
 	return s
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"kshape/internal/fft"
+	"kshape/internal/obs"
 	"kshape/internal/ts"
 )
 
@@ -121,6 +122,7 @@ func sbdImpl(x, y []float64, variant sbdVariant) (float64, []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("dist: SBD length mismatch %d vs %d", len(x), len(y)))
 	}
+	obs.Inc(obs.CounterSBD)
 	m := len(x)
 	if m == 0 {
 		return 0, nil

@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 
 	"kshape/internal/fft"
+	"kshape/internal/obs"
 	"kshape/internal/ts"
 )
 
@@ -78,6 +79,7 @@ func (b *SBDBatch) Query(q []float64) *SBDQuery {
 // Distance returns SBD(q, x_i) and the shift aligning x_i toward q
 // (aligned x_i = ts.Shift(x_i, shift)), exactly matching SBD/Algorithm 1.
 func (s *SBDQuery) Distance(i int) (dist float64, shift int) {
+	obs.Inc(obs.CounterSBD)
 	b := s.batch
 	m := b.m
 	den := s.norm * b.norm[i]

@@ -11,6 +11,7 @@ import (
 	"kshape/internal/dataset"
 	"kshape/internal/dist"
 	"kshape/internal/eval"
+	"kshape/internal/obs"
 	"kshape/internal/stats"
 	"kshape/internal/ts"
 )
@@ -129,7 +130,8 @@ func finishRow(row *ClusterRow, baseline ClusterRow) {
 
 // runClusterer evaluates one scalable clusterer across all datasets,
 // averaging the Rand Index over runs random restarts. Datasets execute in
-// parallel; seeding is deterministic per (dataset, run).
+// parallel (serially when Config.Metrics is set, so counter deltas stay
+// attributable to one run); seeding is deterministic per (dataset, run).
 func runClusterer(cfg Config, c cluster.Clusterer, runs int) ClusterRow {
 	datasets := cfg.Datasets
 	row := ClusterRow{Name: c.Name(), RandIndexes: make([]float64, len(datasets))}
@@ -137,7 +139,7 @@ func runClusterer(cfg Config, c cluster.Clusterer, runs int) ClusterRow {
 		runs = 1
 	}
 	start := time.Now()
-	parallelOver(len(datasets), func(d int) {
+	evalDataset := func(d int) {
 		ds := datasets[d]
 		data := ts.Rows(ds.All())
 		truth := ts.Labels(ds.All())
@@ -145,11 +147,11 @@ func runClusterer(cfg Config, c cluster.Clusterer, runs int) ClusterRow {
 		count := 0
 		for r := 0; r < runs; r++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(d)*1000 + int64(r)))
-			res, err := c.Cluster(data, ds.K, rng)
-			if err != nil {
+			ri, ok := observedRun(cfg, c, data, truth, ds.Name, ds.K, r, rng)
+			if !ok {
 				continue
 			}
-			sum += eval.RandIndex(res.Labels, truth)
+			sum += ri
 			count++
 			if c.Deterministic() {
 				break
@@ -158,10 +160,54 @@ func runClusterer(cfg Config, c cluster.Clusterer, runs int) ClusterRow {
 		if count > 0 {
 			row.RandIndexes[d] = sum / float64(count)
 		}
-	})
+	}
+	if cfg.Metrics != nil {
+		for d := range datasets {
+			evalDataset(d)
+		}
+	} else {
+		parallelOver(len(datasets), evalDataset)
+	}
 	row.Runtime = time.Since(start)
 	cfg.progressf("clustering: %s done in %v (avg RI %.3f)", c.Name(), row.Runtime, Mean(row.RandIndexes))
 	return row
+}
+
+// observedRun executes one clustering run, recording a RunRecord (wall
+// time, Rand Index, counter delta, iteration trajectory) when metrics
+// collection is on. It returns the run's Rand Index.
+func observedRun(cfg Config, c cluster.Clusterer, data [][]float64, truth []int, dsName string, k, run int, rng *rand.Rand) (float64, bool) {
+	if cfg.Metrics == nil {
+		res, err := cluster.Run(c, data, k, rng, cluster.Opts{})
+		if err != nil {
+			return 0, false
+		}
+		return eval.RandIndex(res.Labels, truth), true
+	}
+	var traj []obs.IterationStats
+	before := obs.ReadCounters()
+	start := time.Now()
+	res, err := cluster.Run(c, data, k, rng, cluster.Opts{
+		OnIteration: func(st obs.IterationStats) { traj = append(traj, st) },
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, false
+	}
+	ri := eval.RandIndex(res.Labels, truth)
+	cfg.Metrics.Record(obs.RunRecord{
+		Method:     c.Name(),
+		Dataset:    dsName,
+		Run:        run,
+		Seconds:    elapsed.Seconds(),
+		Score:      ri,
+		ScoreKind:  "rand_index",
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Counters:   obs.ReadCounters().Sub(before),
+		Trajectory: traj,
+	})
+	return ri, true
 }
 
 type matrixJobKind int
@@ -222,6 +268,12 @@ func runMatrixClusterer(cfg Config, job matrixJob) ClusterRow {
 	for d, ds := range datasets {
 		data := ts.Rows(ds.All())
 		truth := ts.Labels(ds.All())
+		var countersBefore obs.Counters
+		var dsStart time.Time
+		if cfg.Metrics != nil {
+			countersBefore = obs.ReadCounters()
+			dsStart = time.Now()
+		}
 		dm := cachedMatrix(ds.Name, job.measure, data)
 		switch job.kind {
 		case jobHierarchical:
@@ -264,6 +316,19 @@ func runMatrixClusterer(cfg Config, job matrixJob) ClusterRow {
 			if count > 0 {
 				row.RandIndexes[d] = sum / float64(count)
 			}
+		}
+		if cfg.Metrics != nil {
+			// Matrix methods have no refinement loop to trace; the record
+			// carries wall time (including any matrix build this method
+			// triggered first) and the kernel-counter delta.
+			cfg.Metrics.Record(obs.RunRecord{
+				Method:    job.name,
+				Dataset:   ds.Name,
+				Seconds:   time.Since(dsStart).Seconds(),
+				Score:     row.RandIndexes[d],
+				ScoreKind: "rand_index",
+				Counters:  obs.ReadCounters().Sub(countersBefore),
+			})
 		}
 	}
 	row.Runtime = time.Since(start)

@@ -5,6 +5,7 @@ import (
 
 	"kshape/internal/dist"
 	"kshape/internal/eval"
+	"kshape/internal/obs"
 	"kshape/internal/stats"
 	"kshape/internal/ts"
 )
@@ -110,7 +111,21 @@ func Table2(cfg Config) Table2Result {
 		accs := make([]float64, n)
 		start := time.Now()
 		for i := range datasets {
+			if cfg.Metrics == nil {
+				accs[i] = ev.evaluate(i)
+				continue
+			}
+			countersBefore := obs.ReadCounters()
+			dsStart := time.Now()
 			accs[i] = ev.evaluate(i)
+			cfg.Metrics.Record(obs.RunRecord{
+				Method:    ev.name,
+				Dataset:   datasets[i].Name,
+				Seconds:   time.Since(dsStart).Seconds(),
+				Score:     accs[i],
+				ScoreKind: "accuracy_1nn",
+				Counters:  obs.ReadCounters().Sub(countersBefore),
+			})
 		}
 		rows[r] = DistanceRow{
 			Name:       ev.name,

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"kshape/internal/dataset"
+	"kshape/internal/obs"
 )
 
 // Config controls experiment scale. The zero value is unusable; call
@@ -33,6 +34,13 @@ type Config struct {
 	MaxWindowFrac float64
 	// Progress, if non-nil, receives one line per completed unit of work.
 	Progress io.Writer
+	// Metrics, if non-nil, receives one RunRecord per (method, dataset)
+	// unit of work — wall time, score, kernel-counter deltas, and (for
+	// iterative methods) the per-iteration convergence trajectory. Callers
+	// should also obs.SetEnabled(true) so the counter deltas are non-zero.
+	// When Metrics is set, clustering sweeps run datasets serially so that
+	// each record's counter delta is attributable to that run alone.
+	Metrics *obs.Collector
 }
 
 // DefaultConfig is the full-scale configuration used by cmd/kbench: all 48

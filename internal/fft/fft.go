@@ -13,6 +13,8 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+
+	"kshape/internal/obs"
 )
 
 // NextPow2 returns the smallest power of two >= n. It panics for n <= 0 and
@@ -59,6 +61,11 @@ func transform(x []complex128, inverse bool) {
 	}
 	if !IsPow2(n) {
 		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	if inverse {
+		obs.Inc(obs.CounterIFFT)
+	} else {
+		obs.Inc(obs.CounterFFT)
 	}
 	// Bit-reversal permutation.
 	logN := bits.TrailingZeros(uint(n))

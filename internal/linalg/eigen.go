@@ -3,6 +3,8 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"kshape/internal/obs"
 )
 
 // Power-iteration parameters. Shape extraction tolerates loose eigenvector
@@ -47,7 +49,10 @@ func DominantEigen(s *Sym) (float64, []float64) {
 	normalize(v)
 	next := make([]float64, n)
 	lambda := 0.0
+	iters := 0
+	defer func() { obs.Add(obs.CounterEigenIterations, int64(iters)) }()
 	for iter := 0; iter < powerMaxIter; iter++ {
+		iters++
 		s.MulVec(next, v)
 		newLambda := dot(v, next)
 		if normalize(next) == 0 {
@@ -93,6 +98,7 @@ func dot(a, b []float64) float64 {
 // followed by the implicit-shift QL algorithm — the classic tred2/tql2
 // pair — which is O(n³) with a small constant and numerically robust.
 func EigenDecompose(s *Sym) (vals []float64, vecs [][]float64) {
+	obs.Inc(obs.CounterEigenDecompositions)
 	n := s.N
 	a := make([][]float64, n) // working copy; becomes the eigenvector matrix
 	for i := 0; i < n; i++ {

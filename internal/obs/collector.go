@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// RunRecord is one measured unit of experiment work: a clustering run or a
+// 1-NN classification pass of one method over one dataset.
+type RunRecord struct {
+	// Method is the algorithm or distance-measure name.
+	Method string `json:"method"`
+	// Dataset names the archive dataset the run executed on.
+	Dataset string `json:"dataset,omitempty"`
+	// Run is the restart index for randomized methods (0-based).
+	Run int `json:"run"`
+	// Seconds is the run's wall time.
+	Seconds float64 `json:"seconds"`
+	// Score is the quality metric of the run and ScoreKind its
+	// interpretation: "rand_index" for clustering, "accuracy_1nn" for
+	// distance evaluation.
+	Score     float64 `json:"score"`
+	ScoreKind string  `json:"score_kind"`
+	// Iterations and Converged describe the refinement loop (clustering
+	// runs only).
+	Iterations int  `json:"iterations,omitempty"`
+	Converged  bool `json:"converged,omitempty"`
+	// Counters is the kernel-counter delta accrued by this run.
+	Counters Counters `json:"counters"`
+	// Trajectory is the per-iteration convergence data (clustering runs
+	// with an iterative engine only).
+	Trajectory []IterationStats `json:"trajectory,omitempty"`
+}
+
+// Collector accumulates RunRecords from concurrent experiment code and
+// renders them, together with phase spans and the global counter totals,
+// as the `kbench -metrics` JSON report.
+type Collector struct {
+	mu   sync.Mutex
+	runs []RunRecord
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Record appends one run record; safe for concurrent use.
+func (c *Collector) Record(r RunRecord) {
+	c.mu.Lock()
+	c.runs = append(c.runs, r)
+	c.mu.Unlock()
+}
+
+// Runs returns a copy of the records collected so far.
+func (c *Collector) Runs() []RunRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RunRecord, len(c.runs))
+	copy(out, c.runs)
+	return out
+}
+
+// Report is the top-level schema of the `kbench -metrics` JSON dump.
+type Report struct {
+	// Tool and Args identify the invocation that produced the report.
+	Tool string   `json:"tool"`
+	Args []string `json:"args,omitempty"`
+	// Experiments lists the experiment names that ran.
+	Experiments []string `json:"experiments,omitempty"`
+	// Counters holds the process-wide kernel-counter totals accrued while
+	// the experiments ran.
+	Counters Counters `json:"counters"`
+	// Phases is the hierarchical span tree of experiment phase timings.
+	Phases *Span `json:"phases,omitempty"`
+	// Runs holds every per-(method, dataset, restart) record.
+	Runs []RunRecord `json:"runs"`
+}
+
+// BuildReport assembles a Report from the collected runs, a counter delta,
+// and an optional finished phase trace.
+func (c *Collector) BuildReport(tool string, args, experiments []string, counters Counters, phases *Span) Report {
+	return Report{
+		Tool:        tool,
+		Args:        args,
+		Experiments: experiments,
+		Counters:    counters,
+		Phases:      phases,
+		Runs:        c.Runs(),
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersDisabledByDefault(t *testing.T) {
+	if Enabled() {
+		t.Fatal("counters enabled at package init")
+	}
+	before := ReadCounters()
+	Inc(CounterFFT)
+	Add(CounterSBD, 100)
+	got := ReadCounters().Sub(before)
+	if got.Total() != 0 {
+		t.Fatalf("disabled counters accrued counts: %+v", got)
+	}
+}
+
+func TestCounterAtomicityUnderGoroutines(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	before := ReadCounters()
+
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				Inc(CounterSBD)
+				Add(CounterEigenIterations, 3)
+			}
+		}()
+	}
+	wg.Wait()
+
+	got := ReadCounters().Sub(before)
+	if got.SBD != workers*perWorker {
+		t.Errorf("SBD = %d, want %d", got.SBD, workers*perWorker)
+	}
+	if got.EigenIterations != 3*workers*perWorker {
+		t.Errorf("EigenIterations = %d, want %d", got.EigenIterations, 3*workers*perWorker)
+	}
+}
+
+func TestSetEnabledReturnsPrevious(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	if !SetEnabled(false) {
+		t.Error("SetEnabled(false) should report previously-enabled")
+	}
+	if SetEnabled(prev) {
+		t.Error("SetEnabled should report previously-disabled")
+	}
+}
+
+func TestCounterString(t *testing.T) {
+	if CounterFFT.String() != "fft" {
+		t.Errorf("CounterFFT.String() = %q", CounterFFT.String())
+	}
+	if CounterEigenIterations.String() != "eigen_iterations" {
+		t.Errorf("CounterEigenIterations.String() = %q", CounterEigenIterations.String())
+	}
+	if Counter(-1).String() != "unknown" || numCounters.String() != "unknown" {
+		t.Error("out-of-range counters should stringify as unknown")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTrace("run")
+	iter := tr.Root().Child("iteration-1")
+	refine := iter.Child("refine")
+	time.Sleep(time.Millisecond)
+	refine.End()
+	assign := iter.Child("assign")
+	assign.End()
+	iter.End()
+	root := tr.Finish()
+
+	if root.Name != "run" || len(root.Children) != 1 {
+		t.Fatalf("root = %q with %d children, want run with 1", root.Name, len(root.Children))
+	}
+	if got := root.Find("refine"); got != refine {
+		t.Fatal("Find(refine) did not locate the nested span")
+	}
+	if root.Find("missing") != nil {
+		t.Fatal("Find(missing) should be nil")
+	}
+	if refine.DurationNS <= 0 {
+		t.Errorf("refine duration = %d, want > 0", refine.DurationNS)
+	}
+	if refine.StartNS < iter.StartNS {
+		t.Errorf("child started (%d) before parent (%d)", refine.StartNS, iter.StartNS)
+	}
+	if root.DurationNS < refine.StartNS+refine.DurationNS {
+		t.Errorf("root duration %d shorter than child extent %d",
+			root.DurationNS, refine.StartNS+refine.DurationNS)
+	}
+	// End is idempotent: a second End must not change the duration.
+	d := refine.DurationNS
+	refine.End()
+	if refine.DurationNS != d {
+		t.Error("second End changed the span duration")
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr := NewTrace("run")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Root().Child("child").End()
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Finish().Children); n != 16 {
+		t.Errorf("got %d children, want 16", n)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	col := NewCollector()
+	col.Record(RunRecord{
+		Method: "k-Shape", Dataset: "CBF", Run: 1, Seconds: 0.25,
+		Score: 0.9, ScoreKind: "rand_index", Iterations: 2, Converged: true,
+		Counters: Counters{FFT: 10, IFFT: 5, SBD: 7},
+		Trajectory: []IterationStats{
+			{Iteration: 1, Inertia: 12.5, LabelChurn: 30, ClusterSizes: []int{10, 20}, RefineNS: 100, AssignNS: 200},
+			{Iteration: 2, Inertia: 11.0, LabelChurn: 0, ClusterSizes: []int{12, 18}, RefineNS: 90, AssignNS: 180, Reseeds: 1},
+		},
+	})
+	tr := NewTrace("kbench")
+	tr.Root().Child("table2").End()
+	report := col.BuildReport("kbench", []string{"-metrics", "x.json"}, []string{"table2"},
+		Counters{FFT: 10, SBD: 7}, tr.Finish())
+
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Tool != "kbench" || len(back.Runs) != 1 || back.Counters.FFT != 10 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	r := back.Runs[0]
+	if r.Method != "k-Shape" || len(r.Trajectory) != 2 || r.Trajectory[1].Reseeds != 1 {
+		t.Fatalf("run record mismatch: %+v", r)
+	}
+	if back.Phases == nil || back.Phases.Find("table2") == nil {
+		t.Fatal("phase span tree lost in round-trip")
+	}
+
+	// The wire names must stay snake_case and match Counter.String.
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	counters, ok := raw["counters"].(map[string]any)
+	if !ok {
+		t.Fatalf("counters not an object: %T", raw["counters"])
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if _, ok := counters[c.String()]; !ok {
+			t.Errorf("counters JSON missing key %q", c.String())
+		}
+	}
+}
+
+func TestCollectorConcurrentRecord(t *testing.T) {
+	col := NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(run int) {
+			defer wg.Done()
+			col.Record(RunRecord{Method: "m", Run: run})
+		}(i)
+	}
+	wg.Wait()
+	if n := len(col.Runs()); n != 32 {
+		t.Errorf("got %d records, want 32", n)
+	}
+}
+
+func TestCountersSubTotal(t *testing.T) {
+	a := Counters{FFT: 5, SBD: 3, Reseeds: 1}
+	b := Counters{FFT: 2, SBD: 3}
+	d := a.Sub(b)
+	if d.FFT != 3 || d.SBD != 0 || d.Reseeds != 1 {
+		t.Errorf("Sub = %+v", d)
+	}
+	if d.Total() != 4 {
+		t.Errorf("Total = %d, want 4", d.Total())
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace is a hierarchy of timed spans sharing one monotonic clock origin.
+// A trace is safe for concurrent use: spans may be started and ended from
+// multiple goroutines (each span's own Start/End calls must not race with
+// themselves, which the natural begin/end pairing guarantees).
+type Trace struct {
+	mu   sync.Mutex
+	t0   time.Time
+	root *Span
+}
+
+// NewTrace starts a trace whose root span is named name. The clock origin
+// is the moment of this call; all span offsets are relative to it and come
+// from the monotonic clock (immune to wall-clock steps).
+func NewTrace(name string) *Trace {
+	t := &Trace{t0: time.Now()}
+	t.root = &Span{Name: name, trace: t}
+	return t
+}
+
+// Root returns the root span (already started, never ended by End on the
+// trace's behalf — call Finish to close it).
+func (t *Trace) Root() *Span { return t.root }
+
+// Finish ends the root span and returns it.
+func (t *Trace) Finish() *Span {
+	t.root.End()
+	return t.root
+}
+
+func (t *Trace) now() int64 { return int64(time.Since(t.t0)) }
+
+// Span is one named timed region of a Trace. Offsets and durations are
+// nanoseconds on the trace's monotonic clock; the exported fields are what
+// the JSON report serializes.
+type Span struct {
+	Name       string  `json:"name"`
+	StartNS    int64   `json:"start_ns"`
+	DurationNS int64   `json:"duration_ns"`
+	Children   []*Span `json:"children,omitempty"`
+
+	trace *Trace
+}
+
+// Child starts a sub-span of s named name.
+func (s *Span) Child(name string) *Span {
+	c := &Span{Name: name, trace: s.trace}
+	if s.trace != nil {
+		c.StartNS = s.trace.now()
+		s.trace.mu.Lock()
+		s.Children = append(s.Children, c)
+		s.trace.mu.Unlock()
+	} else {
+		s.Children = append(s.Children, c)
+	}
+	return c
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the first
+// duration.
+func (s *Span) End() {
+	if s.trace == nil || s.DurationNS != 0 {
+		return
+	}
+	s.DurationNS = s.trace.now() - s.StartNS
+}
+
+// Find returns the first descendant span (depth-first, including s itself)
+// with the given name, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if f := c.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package obs
+
+// IterationStats describes one refinement iteration of the Lloyd-style
+// engine: the objective value, how many series changed cluster, where the
+// wall time went, and the resulting cluster occupancy. The engine invokes
+// the OnIteration callback with one of these per iteration, and RunTrace
+// accumulates the full trajectory.
+type IterationStats struct {
+	// Iteration is 1-based, matching Result.Iterations at termination.
+	Iteration int `json:"iteration"`
+	// Inertia is the within-cluster sum of squared assignment distances
+	// after this iteration's assignment step (Equation 1).
+	Inertia float64 `json:"inertia"`
+	// LabelChurn is the number of series whose cluster changed relative to
+	// the previous iteration; 0 means the fixed point was reached.
+	LabelChurn int `json:"label_churn"`
+	// ClusterSizes is the occupancy of each cluster after assignment and
+	// re-seeding.
+	ClusterSizes []int `json:"cluster_sizes"`
+	// RefineNS and AssignNS split the iteration's wall time between the
+	// centroid-refinement and assignment phases (monotonic clock).
+	RefineNS int64 `json:"refine_ns"`
+	AssignNS int64 `json:"assign_ns"`
+	// Reseeds is the number of empty clusters re-seeded this iteration.
+	Reseeds int `json:"reseeds"`
+}
+
+// RunTrace summarizes one clustering run: the per-iteration trajectory plus
+// the kernel counters and wall time accrued over the run.
+type RunTrace struct {
+	// Method is the algorithm name ("k-Shape", "k-AVG+ED", ...).
+	Method string `json:"method"`
+	// Iterations is the per-iteration trajectory, empty for methods
+	// without a refinement loop (hierarchical, PAM, spectral).
+	Iterations []IterationStats `json:"iterations,omitempty"`
+	// Counters is the delta of the global kernel counters over the run;
+	// all-zero unless counting was enabled (see SetEnabled).
+	Counters Counters `json:"counters"`
+	// TotalNS is the run's wall time on the monotonic clock.
+	TotalNS int64 `json:"total_ns"`
+	// Converged mirrors Result.Converged.
+	Converged bool `json:"converged"`
+}

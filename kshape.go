@@ -21,14 +21,30 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"kshape/internal/avg"
 	"kshape/internal/cluster"
-	"kshape/internal/core"
 	"kshape/internal/dist"
 	"kshape/internal/eval"
+	"kshape/internal/obs"
 	"kshape/internal/ts"
 )
+
+// IterationStats describes one refinement iteration of an iterative
+// clustering method: objective value, label churn, per-phase wall time, and
+// cluster occupancy. See Options.OnIteration.
+type IterationStats = obs.IterationStats
+
+// RunTrace summarizes an instrumented clustering run: the per-iteration
+// trajectory plus kernel counters and total wall time. See
+// Options.CollectTrace and Result.Trace.
+type RunTrace = obs.RunTrace
+
+// KernelCounters is a snapshot of the low-level operation counters (FFT
+// transforms, distance evaluations, eigensolver iterations, reseeds)
+// reported inside RunTrace.
+type KernelCounters = obs.Counters
 
 // Result reports a clustering.
 type Result struct {
@@ -47,6 +63,9 @@ type Result struct {
 	// (Equation 1 of the paper) — comparable across runs of the same
 	// method and k, used by ClusterRestarts to pick the best restart.
 	Inertia float64
+	// Trace holds the run's per-iteration trajectory and kernel counters.
+	// Nil unless Options.CollectTrace was set.
+	Trace *RunTrace
 }
 
 // Options configures Cluster and New.
@@ -64,6 +83,16 @@ type Options struct {
 	// ("k-Shape", "k-AVG+ED", "k-DBA", "KSC", "PAM+SBD", "H-C+SBD",
 	// "S+SBD", ...). Empty means "k-Shape". See Methods for the full list.
 	Method string
+	// OnIteration, if non-nil, is invoked synchronously after every
+	// refinement iteration of an iterative method (k-Shape and the
+	// k-means family). Methods without a refinement loop (hierarchical,
+	// PAM, spectral) never invoke it.
+	OnIteration func(IterationStats)
+	// CollectTrace records the per-iteration trajectory, kernel operation
+	// counters, and total wall time of the run into Result.Trace. Counter
+	// accumulation is process-global, so concurrent clustering runs in
+	// other goroutines contribute to this run's counter deltas.
+	CollectTrace bool
 }
 
 // Cluster partitions equal-length time series into k clusters with k-Shape
@@ -99,21 +128,43 @@ func Cluster(data [][]float64, k int, opts Options) (*Result, error) {
 		}
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	var res *core.Result
-	var err error
-	if name == "k-Shape" && opts.MaxIterations > 0 {
-		res, err = core.Lloyd(prepared, core.Config{
-			K:             k,
-			MaxIterations: opts.MaxIterations,
-			Distance:      func(c, x []float64) float64 { return dist.SBDDist(c, x) },
-			Centroid:      avg.ShapeExtraction,
-			Rand:          rng,
-		})
-	} else {
-		res, err = c.Cluster(prepared, k, rng)
+
+	// Every method — k-Shape included — dispatches through the registry
+	// and cluster.Run, so engine options and instrumentation hooks apply
+	// uniformly; iteration-level controls are inert for methods without a
+	// refinement loop.
+	onIter := opts.OnIteration
+	var trace *RunTrace
+	var countersBefore obs.Counters
+	var wasCounting bool
+	var started time.Time
+	if opts.CollectTrace {
+		trace = &RunTrace{Method: name}
+		userIter := onIter
+		onIter = func(st IterationStats) {
+			trace.Iterations = append(trace.Iterations, st)
+			if userIter != nil {
+				userIter(st)
+			}
+		}
+		wasCounting = obs.SetEnabled(true)
+		countersBefore = obs.ReadCounters()
+		started = time.Now()
+	}
+	res, err := cluster.Run(c, prepared, k, rng, cluster.Opts{
+		MaxIterations: opts.MaxIterations,
+		OnIteration:   onIter,
+	})
+	if opts.CollectTrace {
+		trace.TotalNS = time.Since(started).Nanoseconds()
+		trace.Counters = obs.ReadCounters().Sub(countersBefore)
+		obs.SetEnabled(wasCounting)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if trace != nil {
+		trace.Converged = res.Converged
 	}
 	return &Result{
 		Labels:     res.Labels,
@@ -121,6 +172,7 @@ func Cluster(data [][]float64, k int, opts Options) (*Result, error) {
 		Iterations: res.Iterations,
 		Converged:  res.Converged,
 		Inertia:    res.Inertia,
+		Trace:      trace,
 	}, nil
 }
 

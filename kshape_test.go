@@ -358,3 +358,101 @@ func TestClassify1NNErrors(t *testing.T) {
 		t.Error("unknown measure accepted")
 	}
 }
+
+func TestClusterOnIterationAndTrace(t *testing.T) {
+	data, _ := twoShapeClasses(15, 32, 21)
+
+	calls := 0
+	res, err := Cluster(data, 2, Options{
+		Seed:         3,
+		CollectTrace: true,
+		OnIteration:  func(IterationStats) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != res.Iterations {
+		t.Errorf("OnIteration fired %d times, want %d (one per iteration)", calls, res.Iterations)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("CollectTrace set but Result.Trace is nil")
+	}
+	if tr.Method != "k-Shape" {
+		t.Errorf("Trace.Method = %q, want k-Shape", tr.Method)
+	}
+	if len(tr.Iterations) != res.Iterations {
+		t.Errorf("trace has %d iterations, result reports %d", len(tr.Iterations), res.Iterations)
+	}
+	if tr.Converged != res.Converged {
+		t.Errorf("Trace.Converged = %v, result %v", tr.Converged, res.Converged)
+	}
+	if tr.TotalNS <= 0 {
+		t.Errorf("Trace.TotalNS = %d, want > 0", tr.TotalNS)
+	}
+	// The optimized k-Shape loop runs on FFT cross-correlations: the
+	// counter delta must show FFT and SBD work.
+	if tr.Counters.FFT == 0 || tr.Counters.SBD == 0 {
+		t.Errorf("trace counters missing kernel activity: %+v", tr.Counters)
+	}
+	for i, it := range tr.Iterations {
+		if it.Iteration != i+1 {
+			t.Errorf("trace iteration %d numbered %d", i, it.Iteration)
+		}
+	}
+}
+
+func TestClusterWithoutTraceLeavesCountersDisabled(t *testing.T) {
+	data, _ := twoShapeClasses(10, 32, 5)
+	res, err := Cluster(data, 2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Error("Result.Trace should be nil without CollectTrace")
+	}
+}
+
+// TestClusterMaxIterationsUniform verifies that the iteration cap reaches
+// every iterative method through the registry dispatch, not just k-Shape.
+func TestClusterMaxIterationsUniform(t *testing.T) {
+	data, _ := twoShapeClasses(12, 32, 9)
+	for _, method := range []string{"k-Shape", "k-AVG+ED", "k-AVG+SBD", "KSC"} {
+		calls := 0
+		res, err := Cluster(data, 2, Options{
+			Seed:          7,
+			Method:        method,
+			MaxIterations: 1,
+			OnIteration:   func(IterationStats) { calls++ },
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if res.Iterations != 1 {
+			t.Errorf("%s: iterations = %d, want 1", method, res.Iterations)
+		}
+		if calls != 1 {
+			t.Errorf("%s: OnIteration fired %d times, want 1", method, calls)
+		}
+	}
+}
+
+func TestClusterTraceNonIterativeMethod(t *testing.T) {
+	data, _ := twoShapeClasses(8, 32, 13)
+	res, err := Cluster(data, 2, Options{Seed: 2, Method: "PAM+SBD", CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("CollectTrace set but Result.Trace is nil")
+	}
+	// PAM has no Lloyd refinement loop, so no per-iteration records — but
+	// its SBD medoid evaluations must still show up in the counters.
+	if len(tr.Iterations) != 0 {
+		t.Errorf("PAM trace has %d iteration records, want 0", len(tr.Iterations))
+	}
+	if tr.Counters.SBD == 0 {
+		t.Errorf("PAM+SBD trace recorded no SBD evaluations: %+v", tr.Counters)
+	}
+}
