@@ -1,6 +1,7 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build test test-short test-race vet bench
+.PHONY: build test test-short test-race vet fmt-check check bench
 
 build:
 	$(GO) build ./...
@@ -12,14 +13,24 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Race-detector pass over the worker pools (dist matrix builds, 1-NN
-# evaluation, experiment sweeps) and the atomic counters in internal/obs.
+# Race-detector pass over the deterministic parallel substrate
+# (internal/par) and every package that computes through it: the Lloyd /
+# k-Shape engines, distance-matrix builds, PAM/spectral scans, 1-NN
+# evaluation, the atomic counters in internal/obs, and the public API.
 test-race:
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/obs/ ./internal/core/ ./internal/dist/ ./internal/eval/ .
+	$(GO) test -race ./internal/par/ ./internal/obs/ ./internal/core/ ./internal/dist/ ./internal/eval/ ./internal/cluster/ .
 
 vet:
 	$(GO) vet ./...
+
+# Fails (and lists the offenders) when any file is not gofmt-clean.
+fmt-check:
+	@out=$$($(GOFMT) -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Pre-commit gate: formatting, static analysis, the full test suite, and the
+# race-detector pass over the parallel packages, in that order.
+check: fmt-check vet test test-race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -13,11 +13,13 @@ import (
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"kshape/internal/avg"
 	"kshape/internal/core"
 	"kshape/internal/dataset"
 	"kshape/internal/dist"
+	"kshape/internal/eval"
 	"kshape/internal/experiments"
 	"kshape/internal/ts"
 )
@@ -68,6 +70,7 @@ func BenchmarkTable4NonScalable(b *testing.B) {
 
 func BenchmarkFig2WarpingPath(b *testing.B) {
 	cfg := benchConfig(b, "TinyWaves")
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Fig2(cfg)
 	}
@@ -75,6 +78,7 @@ func BenchmarkFig2WarpingPath(b *testing.B) {
 
 func BenchmarkFig3Normalizations(b *testing.B) {
 	cfg := benchConfig(b, "TinyWaves")
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Fig3(cfg)
 	}
@@ -82,6 +86,7 @@ func BenchmarkFig3Normalizations(b *testing.B) {
 
 func BenchmarkFig4ShapeExtractionVsMean(b *testing.B) {
 	cfg := benchConfig(b, "ECGLike")
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiments.Fig4(cfg)
 	}
@@ -292,6 +297,109 @@ func BenchmarkTable2Extended(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.Table2Extended(cfg)
 	}
+}
+
+// --- serial vs parallel: the internal/par execution layer ---------------------
+//
+// Each parallel benchmark measures a serial (workers=1) baseline outside
+// the timed region and reports the observed ratio as a "speedup" metric, so
+// `go test -bench Parallel` prints the gain of the deterministic parallel
+// path directly. On a single-core machine the ratio hovers around 1; the
+// outputs themselves are bit-identical either way (see the determinism
+// tests), so the worker count is purely a throughput knob.
+
+// benchParallelWorkers is the worker count the parallel variants run with.
+const benchParallelWorkers = 4
+
+// serialBaseline times one serial execution of fn (averaged over a few
+// repetitions) for the speedup metric.
+func serialBaseline(fn func()) time.Duration {
+	const reps = 3
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start) / reps
+}
+
+func reportSpeedup(b *testing.B, serial time.Duration) {
+	if b.N > 0 && b.Elapsed() > 0 {
+		perOp := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(float64(serial)/float64(perOp), "speedup")
+	}
+}
+
+func BenchmarkDistanceMatrixSBDSerial(b *testing.B) {
+	data := ts.Rows(dataset.CBF(120, 128, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.PairwiseMatrixWorkers(dist.SBDMeasure{}, data, 1)
+	}
+}
+
+func BenchmarkDistanceMatrixSBDParallel(b *testing.B) {
+	data := ts.Rows(dataset.CBF(120, 128, 1))
+	serial := serialBaseline(func() { dist.PairwiseMatrixWorkers(dist.SBDMeasure{}, data, 1) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.PairwiseMatrixWorkers(dist.SBDMeasure{}, data, benchParallelWorkers)
+	}
+	b.StopTimer()
+	reportSpeedup(b, serial)
+}
+
+func BenchmarkKShapeRefinementSerial(b *testing.B) {
+	data := ts.Rows(dataset.CBF(240, 128, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.KShapeRun(data, 3, rand.New(rand.NewSource(1)), core.KShapeOpts{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKShapeRefinementParallel(b *testing.B) {
+	data := ts.Rows(dataset.CBF(240, 128, 1))
+	serial := serialBaseline(func() {
+		if _, err := core.KShapeRun(data, 3, rand.New(rand.NewSource(1)), core.KShapeOpts{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.KShapeRun(data, 3, rand.New(rand.NewSource(1)), core.KShapeOpts{Workers: benchParallelWorkers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportSpeedup(b, serial)
+}
+
+func BenchmarkOneNNSerial(b *testing.B) {
+	train := dataset.CBF(90, 128, 1)
+	test := dataset.CBF(60, 128, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.OneNNAccuracyWorkers(dist.SBDMeasure{}, train, test, 1)
+	}
+}
+
+func BenchmarkOneNNParallel(b *testing.B) {
+	train := dataset.CBF(90, 128, 1)
+	test := dataset.CBF(60, 128, 2)
+	serial := serialBaseline(func() { eval.OneNNAccuracyWorkers(dist.SBDMeasure{}, train, test, 1) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.OneNNAccuracyWorkers(dist.SBDMeasure{}, train, test, benchParallelWorkers)
+	}
+	b.StopTimer()
+	reportSpeedup(b, serial)
 }
 
 func BenchmarkSBD1024(b *testing.B) {

@@ -75,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	metricsPath := fs.String("metrics", "", "write a JSON metrics report (kernel counters, phase timings, per-run records) to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a runtime/pprof heap profile to this file at exit")
+	workers := fs.Int("workers", runtime.NumCPU(), "max concurrent dataset workers per sweep (1 = serial; results are identical for any value; ignored with -metrics, which runs serially for counter attribution)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg.Runs = *runs
 	cfg.SpectralRuns = *spectralRuns
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	if *verbose {
 		cfg.Progress = stderr
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"kshape"
@@ -36,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	measure := fs.String("measure", "SBD", "distance measure: "+strings.Join(kshape.Measures(), ", "))
 	outPath := fs.String("out", "", "write predictions CSV to this file (default stdout)")
+	workers := fs.Int("workers", runtime.NumCPU(), "max concurrent workers (1 = serial; results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,7 +55,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if train[0].Len() != test[0].Len() {
 		return fmt.Errorf("train length %d != test length %d", train[0].Len(), test[0].Len())
 	}
-	pred, err := kshape.Classify1NN(ts.Rows(train), ts.Labels(train), ts.Rows(test), *measure, false)
+	pred, err := kshape.Classify1NNWorkers(ts.Rows(train), ts.Labels(train), ts.Rows(test), *measure, false, *workers)
 	if err != nil {
 		return err
 	}

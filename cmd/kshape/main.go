@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 
@@ -46,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	outPath := fs.String("out", "", "write assignments CSV to this file (default stdout)")
 	centroidsPath := fs.String("centroids", "", "write centroid series CSV to this file")
 	traceRun := fs.Bool("trace", false, "print a per-iteration convergence table and kernel counters to stderr")
+	workers := fs.Int("workers", runtime.NumCPU(), "max concurrent workers (1 = serial; results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	data := ts.Rows(series)
-	res, err := kshape.Cluster(data, *k, kshape.Options{Seed: *seed, Method: *method, CollectTrace: *traceRun})
+	res, err := kshape.Cluster(data, *k, kshape.Options{Seed: *seed, Method: *method, CollectTrace: *traceRun, Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"kshape/internal/dist"
+	"kshape/internal/par"
 )
 
 // DBAIterations is the number of barycenter refinement passes per Average
@@ -23,6 +24,16 @@ const DBAIterations = 1
 // unconstrained), letting k-DBA use the same constraint as its assignment
 // step.
 func DBA(cluster [][]float64, init []float64, iterations, window int) []float64 {
+	return DBAWorkers(cluster, init, iterations, window, 1)
+}
+
+// DBAWorkers is DBA with an explicit degree of parallelism for the
+// per-member alignment pass (par.Resolve semantics: <= 0 means
+// runtime.NumCPU(), 1 means serial). The warping paths — the expensive
+// O(m²) part — are computed in parallel, one slot per member, and the
+// barycenter accumulation then runs serially in member order, so the
+// average is bit-for-bit identical for every worker count.
+func DBAWorkers(cluster [][]float64, init []float64, iterations, window, workers int) []float64 {
 	if len(cluster) == 0 {
 		if init == nil {
 			return nil
@@ -41,14 +52,17 @@ func DBA(cluster [][]float64, init []float64, iterations, window int) []float64 
 	}
 	sum := make([]float64, m)
 	count := make([]float64, m)
+	paths := make([][][2]int, len(cluster))
 	for it := 0; it < iterations; it++ {
 		for i := range sum {
 			sum[i] = 0
 			count[i] = 0
 		}
-		for _, x := range cluster {
-			path, _ := dist.WarpingPath(avg, x, window)
-			for _, p := range path {
+		par.For(workers, len(cluster), func(i int) {
+			paths[i], _ = dist.WarpingPath(avg, cluster[i], window)
+		})
+		for ci, x := range cluster {
+			for _, p := range paths[ci] {
 				sum[p[0]] += x[p[1]]
 				count[p[0]]++
 			}
@@ -73,10 +87,13 @@ func DBA(cluster [][]float64, init []float64, iterations, window int) []float64 
 
 // DBAAverager is the Averager wrapping DBA (used by k-DBA). Window is the
 // Sakoe-Chiba half-width (negative for unconstrained DTW, the k-DBA
-// default); Iterations is the refinement count per call.
+// default); Iterations is the refinement count per call; Workers bounds
+// the parallelism of the alignment pass (0 keeps it serial, which is the
+// right choice inside the engine's already-parallel refinement step).
 type DBAAverager struct {
 	Window     int
 	Iterations int
+	Workers    int
 }
 
 // Name implements Averager.
@@ -88,5 +105,9 @@ func (a DBAAverager) Average(cluster [][]float64, ref []float64) []float64 {
 	if iters == 0 {
 		iters = DBAIterations
 	}
-	return DBA(cluster, ref, iters, a.Window)
+	workers := a.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	return DBAWorkers(cluster, ref, iters, a.Window, workers)
 }

@@ -38,6 +38,10 @@ type Opts struct {
 	// OnIteration, if non-nil, receives per-iteration statistics
 	// (core.Config.OnIteration semantics).
 	OnIteration func(obs.IterationStats)
+	// Workers bounds the clusterer's parallelism (core.Config.Workers
+	// semantics: <= 0 means runtime.NumCPU(), 1 means serial). Results
+	// are identical for every value.
+	Workers int
 }
 
 // Iterative is implemented by clusterers whose refinement loop accepts
@@ -87,6 +91,7 @@ func (v kmeansVariant) ClusterOpts(data [][]float64, k int, rng *rand.Rand, opt 
 		Centroid:      v.centroid,
 		Rand:          rng,
 		OnIteration:   opt.OnIteration,
+		Workers:       opt.Workers,
 	})
 }
 
@@ -170,6 +175,7 @@ func (kshapeClusterer) ClusterOpts(data [][]float64, k int, rng *rand.Rand, opt 
 	return core.KShapeRun(data, k, rng, core.KShapeOpts{
 		MaxIterations: opt.MaxIterations,
 		OnIteration:   opt.OnIteration,
+		Workers:       opt.Workers,
 	})
 }
 

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"kshape/internal/dist"
+	"kshape/internal/ts"
+)
+
+// The non-scalable methods (PAM, spectral) parallelize their matrix scans
+// through internal/par; these tests pin the layer's guarantee — identical
+// output for every worker count under a fixed seed — at the clusterer level.
+
+func gaussianBlobs(nPerBlob, m int, rng *rand.Rand) [][]float64 {
+	centers := [][]float64{make([]float64, m), make([]float64, m), make([]float64, m)}
+	for j := 0; j < m; j++ {
+		centers[1][j] = 3
+		centers[2][j] = float64(j%5) - 2
+	}
+	var data [][]float64
+	for _, c := range centers {
+		for i := 0; i < nPerBlob; i++ {
+			x := make([]float64, m)
+			for j := range x {
+				x[j] = c[j] + 0.3*rng.NormFloat64()
+			}
+			data = append(data, ts.ZNormalize(x))
+		}
+	}
+	return data
+}
+
+func TestPAMDeterministicAcrossWorkers(t *testing.T) {
+	data := gaussianBlobs(12, 24, rand.New(rand.NewSource(2)))
+	run := func(workers int) ([]int, float64) {
+		p := NewPAM(dist.SBDMeasure{})
+		p.Workers = workers
+		res, err := p.Cluster(data, 3, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Labels, res.Inertia
+	}
+	wantLabels, wantInertia := run(1)
+	for _, w := range []int{2, 8} {
+		labels, inertia := run(w)
+		if inertia != wantInertia {
+			t.Errorf("workers=%d: inertia %v, want %v (must be bit-identical)", w, inertia, wantInertia)
+		}
+		for i := range wantLabels {
+			if labels[i] != wantLabels[i] {
+				t.Fatalf("workers=%d: label[%d] = %d, want %d", w, i, labels[i], wantLabels[i])
+			}
+		}
+	}
+}
+
+func TestBuildSwapDeterministicAcrossWorkers(t *testing.T) {
+	data := gaussianBlobs(10, 16, rand.New(rand.NewSource(5)))
+	d := dist.PairwiseMatrixWorkers(dist.EDMeasure{}, data, 1)
+	wantMedoids, wantCost := BuildSwapWorkers(d, 3, 1)
+	for _, w := range []int{2, 8} {
+		medoids, cost := BuildSwapWorkers(d, 3, w)
+		if cost != wantCost {
+			t.Errorf("workers=%d: cost %v, want %v (must be bit-identical)", w, cost, wantCost)
+		}
+		if len(medoids) != len(wantMedoids) {
+			t.Fatalf("workers=%d: %d medoids, want %d", w, len(medoids), len(wantMedoids))
+		}
+		for i := range wantMedoids {
+			if medoids[i] != wantMedoids[i] {
+				t.Fatalf("workers=%d: medoid[%d] = %d, want %d", w, i, medoids[i], wantMedoids[i])
+			}
+		}
+	}
+	// BuildSwap is the documented serial entry point.
+	medoids, cost := BuildSwap(d, 3)
+	if cost != wantCost {
+		t.Errorf("BuildSwap: cost %v, want %v", cost, wantCost)
+	}
+	for i := range wantMedoids {
+		if medoids[i] != wantMedoids[i] {
+			t.Fatalf("BuildSwap: medoid[%d] = %d, want %d", i, medoids[i], wantMedoids[i])
+		}
+	}
+}
+
+func TestSpectralEmbedDeterministicAcrossWorkers(t *testing.T) {
+	data := gaussianBlobs(8, 20, rand.New(rand.NewSource(3)))
+	d := dist.PairwiseMatrixWorkers(dist.SBDMeasure{}, data, 1)
+	embed := func(workers int) [][]float64 {
+		s := NewSpectral(dist.SBDMeasure{})
+		s.Workers = workers
+		emb, err := s.Embed(d, 3)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return emb
+	}
+	want := embed(1)
+	for _, w := range []int{2, 8} {
+		emb := embed(w)
+		for i := range want {
+			for j := range want[i] {
+				if emb[i][j] != want[i][j] {
+					t.Fatalf("workers=%d: embedding[%d][%d] = %v, want %v (must be bit-identical)",
+						w, i, j, emb[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestSpectralClusterDeterministicAcrossWorkers(t *testing.T) {
+	data := gaussianBlobs(8, 20, rand.New(rand.NewSource(4)))
+	run := func(workers int) []int {
+		s := NewSpectral(dist.EDMeasure{})
+		s.Workers = workers
+		res, err := s.Cluster(data, 3, rand.New(rand.NewSource(6)))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Labels
+	}
+	want := run(1)
+	for _, w := range []int{2, 8} {
+		labels := run(w)
+		for i := range want {
+			if labels[i] != want[i] {
+				t.Fatalf("workers=%d: label[%d] = %d, want %d", w, i, labels[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunOptsWorkersDeterministic drives the shared Run entry point — the
+// path the public API uses — with every registered iterative method cheap
+// enough for a unit test.
+func TestRunOptsWorkersDeterministic(t *testing.T) {
+	data := gaussianBlobs(8, 24, rand.New(rand.NewSource(8)))
+	for _, c := range []Clusterer{NewKShape(), NewKAvgED(), NewKAvgSBD()} {
+		run := func(workers int) []int {
+			res, err := Run(c, data, 3, rand.New(rand.NewSource(1)), Opts{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", c.Name(), workers, err)
+			}
+			return res.Labels
+		}
+		want := run(1)
+		for _, w := range []int{2, 8} {
+			labels := run(w)
+			for i := range want {
+				if labels[i] != want[i] {
+					t.Fatalf("%s workers=%d: label[%d] = %d, want %d", c.Name(), w, i, labels[i], want[i])
+				}
+			}
+		}
+	}
+}

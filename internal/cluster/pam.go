@@ -8,6 +8,7 @@ import (
 
 	"kshape/internal/core"
 	"kshape/internal/dist"
+	"kshape/internal/par"
 )
 
 // PAM is the Partitioning Around Medoids implementation of k-medoids
@@ -23,6 +24,11 @@ type PAM struct {
 	Measure dist.Measure
 	// MaxIterations caps the alternation; 0 means core.DefaultMaxIterations.
 	MaxIterations int
+	// Workers bounds the parallelism of the matrix build, the assignment
+	// step, and the medoid-update cost scans (par.Resolve semantics:
+	// <= 0 means runtime.NumCPU(), 1 means serial). Results are identical
+	// for every value.
+	Workers int
 }
 
 // NewPAM returns PAM combined with the given distance measure
@@ -47,7 +53,7 @@ func (p *PAM) Cluster(data [][]float64, k int, rng *rand.Rand) (*core.Result, er
 	if rng == nil {
 		return nil, errors.New("cluster: PAM requires a random source")
 	}
-	d := dist.PairwiseMatrix(p.Measure, data)
+	d := dist.PairwiseMatrixWorkers(p.Measure, data, p.Workers)
 	return p.clusterWithMatrix(data, d, k, rng)
 }
 
@@ -75,8 +81,10 @@ func (p *PAM) clusterWithMatrix(data [][]float64, d [][]float64, k int, rng *ran
 	res := &core.Result{}
 	for iter := 0; iter < maxIter; iter++ {
 		copy(prev, labels)
-		// Assignment: nearest medoid.
-		for i := 0; i < n; i++ {
+		// Assignment: nearest medoid, in parallel across points (the
+		// medoid scan is ascending with a strict comparison, so labels
+		// never depend on the worker count).
+		par.For(p.Workers, n, func(i int) {
 			best, bestJ := math.Inf(1), 0
 			for j, med := range medoids {
 				if dd := d[i][med]; dd < best {
@@ -84,13 +92,16 @@ func (p *PAM) clusterWithMatrix(data [][]float64, d [][]float64, k int, rng *ran
 				}
 			}
 			labels[i] = bestJ
-		}
-		// Medoid update: the member minimizing within-cluster dissimilarity.
+		})
+		// Medoid update: the member minimizing within-cluster
+		// dissimilarity. The O(|C_j|·n) cost scan parallelizes across
+		// candidates; MinIndex breaks ties toward the smaller index,
+		// matching the serial scan. An emptied cluster (possible with
+		// duplicate points) keeps its medoid.
 		for j := range medoids {
-			bestCost, bestMed := math.Inf(1), medoids[j]
-			for cand := 0; cand < n; cand++ {
+			cand, _ := par.MinIndex(p.Workers, n, func(cand int) float64 {
 				if labels[cand] != j {
-					continue
+					return math.Inf(1)
 				}
 				cost := 0.0
 				for i := 0; i < n; i++ {
@@ -98,11 +109,11 @@ func (p *PAM) clusterWithMatrix(data [][]float64, d [][]float64, k int, rng *ran
 						cost += d[cand][i]
 					}
 				}
-				if cost < bestCost {
-					bestCost, bestMed = cost, cand
-				}
+				return cost
+			})
+			if cand >= 0 {
+				medoids[j] = cand
 			}
-			medoids[j] = bestMed
 		}
 		res.Iterations = iter + 1
 		if iter > 0 && equalInts(labels, prev) {

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"math"
+
+	"kshape/internal/par"
 )
 
 // BuildSwap runs the classic deterministic PAM of Kaufman & Rousseeuw on a
@@ -17,6 +19,16 @@ import (
 // BUILD+SWAP is deterministic and typically finds slightly better optima at
 // O(k(n−k)²) per SWAP pass.
 func BuildSwap(d [][]float64, k int) (medoids []int, cost float64) {
+	return BuildSwapWorkers(d, k, 1)
+}
+
+// BuildSwapWorkers is BuildSwap with its cost scans — the BUILD candidate
+// gains and the SWAP exchange deltas, the O(n²) and O(k(n−k)²) parts —
+// parallelized across candidates (par.Resolve semantics: <= 0 means
+// runtime.NumCPU(), 1 means serial). Tie-breaking follows par.MinIndex /
+// par.MaxIndex (smallest index), which matches the serial ascending scans,
+// so the chosen medoids are identical for every worker count.
+func BuildSwapWorkers(d [][]float64, k, workers int) (medoids []int, cost float64) {
 	n := len(d)
 	if k < 1 || k > n {
 		panic("cluster: BuildSwap k out of range")
@@ -24,16 +36,13 @@ func BuildSwap(d [][]float64, k int) (medoids []int, cost float64) {
 	isMedoid := make([]bool, n)
 
 	// BUILD: first medoid minimizes the total dissimilarity.
-	best, bestIdx := math.Inf(1), 0
-	for i := 0; i < n; i++ {
+	bestIdx, _ := par.MinIndex(workers, n, func(i int) float64 {
 		total := 0.0
 		for j := 0; j < n; j++ {
 			total += d[i][j]
 		}
-		if total < best {
-			best, bestIdx = total, i
-		}
-	}
+		return total
+	})
 	medoids = append(medoids, bestIdx)
 	isMedoid[bestIdx] = true
 	// nearest[i] is the distance from i to its closest chosen medoid.
@@ -42,10 +51,9 @@ func BuildSwap(d [][]float64, k int) (medoids []int, cost float64) {
 		nearest[i] = d[i][bestIdx]
 	}
 	for len(medoids) < k {
-		bestGain, bestCand := math.Inf(-1), -1
-		for cand := 0; cand < n; cand++ {
+		bestCand, _ := par.MaxIndex(workers, n, func(cand int) float64 {
 			if isMedoid[cand] {
-				continue
+				return math.Inf(-1)
 			}
 			gain := 0.0
 			for j := 0; j < n; j++ {
@@ -53,10 +61,8 @@ func BuildSwap(d [][]float64, k int) (medoids []int, cost float64) {
 					gain += diff
 				}
 			}
-			if gain > bestGain {
-				bestGain, bestCand = gain, cand
-			}
-		}
+			return gain
+		})
 		medoids = append(medoids, bestCand)
 		isMedoid[bestCand] = true
 		for j := 0; j < n; j++ {
@@ -79,31 +85,48 @@ func BuildSwap(d [][]float64, k int) (medoids []int, cost float64) {
 		}
 		return c
 	}
+	// swapCost is totalCost with the medoid at position mi replaced by
+	// cand, computed without mutating the shared medoid slice so that
+	// exchange deltas can be evaluated concurrently.
+	swapCost := func(mi, cand int) float64 {
+		c := 0.0
+		for i := 0; i < n; i++ {
+			best := math.Inf(1)
+			for pos, m := range medoids {
+				if pos == mi {
+					m = cand
+				}
+				if d[i][m] < best {
+					best = d[i][m]
+				}
+			}
+			c += best
+		}
+		return c
+	}
 
 	// SWAP: best-improvement exchanges until a local optimum. Only strictly
 	// positive improvements are accepted — a zero-gain swap would cycle.
+	// All k·(n−k) exchange deltas of a pass are evaluated in parallel over
+	// the flattened (medoid, candidate) pair index; the smallest-index tie
+	// break reproduces the serial medoid-major/candidate-minor scan.
 	cost = totalCost(medoids)
 	for {
-		bestDelta, bestM, bestC := 1e-12, -1, -1
-		for mi, m := range medoids {
-			for cand := 0; cand < n; cand++ {
-				if isMedoid[cand] {
-					continue
-				}
-				medoids[mi] = cand
-				if delta := cost - totalCost(medoids); delta > bestDelta {
-					bestDelta, bestM, bestC = delta, mi, cand
-				}
-				medoids[mi] = m
+		pair, delta := par.MaxIndex(workers, len(medoids)*n, func(p int) float64 {
+			mi, cand := p/n, p%n
+			if isMedoid[cand] {
+				return math.Inf(-1)
 			}
-		}
-		if bestM < 0 {
+			return cost - swapCost(mi, cand)
+		})
+		if pair < 0 || delta <= 1e-12 {
 			break
 		}
+		bestM, bestC := pair/n, pair%n
 		isMedoid[medoids[bestM]] = false
 		isMedoid[bestC] = true
 		medoids[bestM] = bestC
-		cost -= bestDelta
+		cost -= delta
 	}
 	return medoids, totalCost(medoids)
 }

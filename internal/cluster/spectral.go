@@ -11,6 +11,7 @@ import (
 	"kshape/internal/core"
 	"kshape/internal/dist"
 	"kshape/internal/linalg"
+	"kshape/internal/par"
 )
 
 // Spectral is the normalized spectral clustering of Ng, Jordan & Weiss
@@ -34,6 +35,11 @@ type Spectral struct {
 	Sigma float64
 	// MaxIterations caps the embedded k-means; 0 means the default.
 	MaxIterations int
+	// Workers bounds the parallelism of the matrix build, the affinity
+	// construction, and the embedded k-means (par.Resolve semantics:
+	// <= 0 means runtime.NumCPU(), 1 means serial). Results are identical
+	// for every value.
+	Workers int
 }
 
 // NewSpectral returns normalized spectral clustering with the given
@@ -57,7 +63,7 @@ func (s *Spectral) Cluster(data [][]float64, k int, rng *rand.Rand) (*core.Resul
 	if rng == nil {
 		return nil, errors.New("cluster: spectral clustering requires a random source")
 	}
-	d := dist.PairwiseMatrix(s.Measure, data)
+	d := dist.PairwiseMatrixWorkers(s.Measure, data, s.Workers)
 	return s.ClusterWithMatrix(d, k, rng)
 }
 
@@ -81,6 +87,7 @@ func (s *Spectral) ClusterWithMatrix(d [][]float64, k int, rng *rand.Rand) (*cor
 		Distance:      func(c, x []float64) float64 { return dist.ED(c, x) },
 		Centroid:      avg.MeanAverager{}.Average,
 		Rand:          rng,
+		Workers:       s.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -108,16 +115,21 @@ func (s *Spectral) Embed(d [][]float64, k int) ([][]float64, error) {
 		}
 		return emb, nil
 	}
+	// Affinity rows build in parallel: iteration i owns every (i, j) pair
+	// with j > i and writes both mirrored entries, so the writes of
+	// different iterations never overlap.
 	a := linalg.NewSym(n)
-	for i := 0; i < n; i++ {
+	par.For(s.Workers, n, func(i int) {
 		for j := i + 1; j < n; j++ {
 			v := math.Exp(-d[i][j] * d[i][j] / (2 * sigma * sigma))
-			a.Set(i, j, v)
+			a.Data[i*n+j] = v
+			a.Data[j*n+i] = v
 		}
-	}
-	// Normalize: L = D^(-1/2) A D^(-1/2).
+	})
+	// Normalize: L = D^(-1/2) A D^(-1/2). Each degree is a serial
+	// ascending row sum, so deg is worker-count independent.
 	deg := make([]float64, n)
-	for i := 0; i < n; i++ {
+	par.For(s.Workers, n, func(i int) {
 		sum := 0.0
 		for j := 0; j < n; j++ {
 			sum += a.At(i, j)
@@ -126,12 +138,12 @@ func (s *Spectral) Embed(d [][]float64, k int) ([][]float64, error) {
 			sum = 1 // isolated point; keep the row zero after scaling
 		}
 		deg[i] = 1 / math.Sqrt(sum)
-	}
-	for i := 0; i < n; i++ {
+	})
+	par.For(s.Workers, n, func(i int) {
 		for j := 0; j < n; j++ {
 			a.Data[i*n+j] *= deg[i] * deg[j]
 		}
-	}
+	})
 	_, vecs := linalg.EigenDecompose(a)
 	// Largest k eigenvectors (EigenDecompose sorts ascending).
 	emb := make([][]float64, n)
@@ -145,7 +157,7 @@ func (s *Spectral) Embed(d [][]float64, k int) ([][]float64, error) {
 		}
 	}
 	// Row renormalization.
-	for i := range emb {
+	par.For(s.Workers, n, func(i int) {
 		nrm := 0.0
 		for _, v := range emb[i] {
 			nrm += v * v
@@ -156,7 +168,7 @@ func (s *Spectral) Embed(d [][]float64, k int) ([][]float64, error) {
 				emb[i][c] /= nrm
 			}
 		}
-	}
+	})
 	return emb, nil
 }
 

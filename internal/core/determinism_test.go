@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"kshape/internal/avg"
+	"kshape/internal/dist"
+	"kshape/internal/obs"
+)
+
+// runSnapshot captures everything about a clustering run that must be
+// independent of the worker count: the result fields plus the iteration
+// trajectory with the wall-clock fields zeroed (RefineNS/AssignNS measure
+// time, which legitimately varies run to run).
+type runSnapshot struct {
+	res      Result
+	trace    []obs.IterationStats
+	counters obs.Counters
+}
+
+func (s *runSnapshot) record(it obs.IterationStats) {
+	it.RefineNS, it.AssignNS = 0, 0
+	s.trace = append(s.trace, it)
+}
+
+func snapshotsEqual(t *testing.T, want, got *runSnapshot, label string) {
+	t.Helper()
+	if got.res.Iterations != want.res.Iterations || got.res.Converged != want.res.Converged {
+		t.Errorf("%s: iterations/converged = %d/%v, want %d/%v",
+			label, got.res.Iterations, got.res.Converged, want.res.Iterations, want.res.Converged)
+	}
+	if got.res.Inertia != want.res.Inertia {
+		t.Errorf("%s: inertia = %v, want %v (must be bit-identical)", label, got.res.Inertia, want.res.Inertia)
+	}
+	for i := range want.res.Labels {
+		if got.res.Labels[i] != want.res.Labels[i] {
+			t.Fatalf("%s: label[%d] = %d, want %d", label, i, got.res.Labels[i], want.res.Labels[i])
+		}
+	}
+	if len(got.res.Centroids) != len(want.res.Centroids) {
+		t.Fatalf("%s: %d centroids, want %d", label, len(got.res.Centroids), len(want.res.Centroids))
+	}
+	for j := range want.res.Centroids {
+		for i := range want.res.Centroids[j] {
+			if got.res.Centroids[j][i] != want.res.Centroids[j][i] {
+				t.Fatalf("%s: centroid[%d][%d] = %v, want %v (must be bit-identical)",
+					label, j, i, got.res.Centroids[j][i], want.res.Centroids[j][i])
+			}
+		}
+	}
+	if len(got.trace) != len(want.trace) {
+		t.Fatalf("%s: trace has %d iterations, want %d", label, len(got.trace), len(want.trace))
+	}
+	for i := range want.trace {
+		w, g := want.trace[i], got.trace[i]
+		if g.Iteration != w.Iteration || g.Inertia != w.Inertia || g.LabelChurn != w.LabelChurn || g.Reseeds != w.Reseeds {
+			t.Errorf("%s: trace[%d] = %+v, want %+v", label, i, g, w)
+		}
+		for j := range w.ClusterSizes {
+			if g.ClusterSizes[j] != w.ClusterSizes[j] {
+				t.Errorf("%s: trace[%d] cluster sizes %v, want %v", label, i, g.ClusterSizes, w.ClusterSizes)
+				break
+			}
+		}
+	}
+	if got.counters != want.counters {
+		t.Errorf("%s: kernel counters %+v, want %+v (parallel path must not change operation counts)",
+			label, got.counters, want.counters)
+	}
+}
+
+var workerCounts = []int{1, 2, 8}
+
+// TestKShapeRunDeterministicAcrossWorkers is the central guarantee of the
+// parallel execution layer: k-Shape produces bit-identical labels,
+// centroids, iteration trajectories, and kernel-counter totals for every
+// worker count under a fixed seed.
+func TestKShapeRunDeterministicAcrossWorkers(t *testing.T) {
+	data, _ := twoClassShiftedData(20, 48, rand.New(rand.NewSource(7)))
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	run := func(workers int) *runSnapshot {
+		snap := &runSnapshot{}
+		before := obs.ReadCounters()
+		res, err := KShapeRun(data, 3, rand.New(rand.NewSource(11)), KShapeOpts{
+			OnIteration: snap.record,
+			Workers:     workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		snap.res = *res
+		snap.counters = obs.ReadCounters().Sub(before)
+		return snap
+	}
+
+	want := run(1)
+	for _, w := range workerCounts[1:] {
+		snapshotsEqual(t, want, run(w), "k-Shape workers="+strconv.Itoa(w))
+	}
+}
+
+// TestLloydDeterministicAcrossWorkers checks the generic engine with an
+// ED/mean configuration (k-means): identical output for every worker count.
+func TestLloydDeterministicAcrossWorkers(t *testing.T) {
+	data, _ := twoClassShiftedData(25, 32, rand.New(rand.NewSource(3)))
+
+	run := func(workers int) *runSnapshot {
+		snap := &runSnapshot{}
+		res, err := Lloyd(data, Config{
+			K:           4,
+			Distance:    func(c, x []float64) float64 { return dist.ED(c, x) },
+			Centroid:    avg.MeanAverager{}.Average,
+			Rand:        rand.New(rand.NewSource(5)),
+			OnIteration: snap.record,
+			Workers:     workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		snap.res = *res
+		return snap
+	}
+
+	want := run(1)
+	for _, w := range workerCounts[1:] {
+		snapshotsEqual(t, want, run(w), "Lloyd workers="+strconv.Itoa(w))
+	}
+}
+
+// TestKShapeDefaultWorkersMatchesSerial pins the Workers=0 (NumCPU) path to
+// the serial reference as well, since that is the default every caller gets.
+func TestKShapeDefaultWorkersMatchesSerial(t *testing.T) {
+	data, _ := twoClassShiftedData(15, 40, rand.New(rand.NewSource(9)))
+	serial, err := KShapeRun(data, 2, rand.New(rand.NewSource(2)), KShapeOpts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := KShapeRun(data, 2, rand.New(rand.NewSource(2)), KShapeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Labels {
+		if serial.Labels[i] != auto.Labels[i] {
+			t.Fatalf("label[%d]: serial %d, default-workers %d", i, serial.Labels[i], auto.Labels[i])
+		}
+	}
+	if serial.Inertia != auto.Inertia {
+		t.Fatalf("inertia: serial %v, default-workers %v", serial.Inertia, auto.Inertia)
+	}
+}

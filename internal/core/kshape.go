@@ -18,6 +18,7 @@ import (
 	"kshape/internal/avg"
 	"kshape/internal/dist"
 	"kshape/internal/obs"
+	"kshape/internal/par"
 	"kshape/internal/ts"
 )
 
@@ -54,6 +55,13 @@ type Config struct {
 	// on the engine's goroutine; per-iteration bookkeeping is only
 	// performed when it is set.
 	OnIteration func(obs.IterationStats)
+	// Workers bounds the engine's parallelism: the assignment step runs
+	// in parallel across series and the refinement step across clusters.
+	// <= 0 means runtime.NumCPU(), 1 means serial. Labels, centroids, and
+	// the iteration trajectory are bit-for-bit identical for every value;
+	// Distance and Centroid must therefore be safe for concurrent calls
+	// (every implementation in this repository is).
+	Workers int
 }
 
 // Result reports a clustering.
@@ -142,20 +150,25 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 		copy(prev, labels)
 
 		// Refinement step: recompute each centroid from its members, using
-		// the previous centroid as the alignment reference.
+		// the previous centroid as the alignment reference. Clusters are
+		// independent, so they refine in parallel.
 		refineStart := time.Now()
 		members := make([][][]float64, k)
 		for i, l := range labels {
 			members[l] = append(members[l], data[i])
 		}
-		for j := 0; j < k; j++ {
+		par.For(cfg.Workers, k, func(j int) {
 			centroids[j] = cfg.Centroid(members[j], centroids[j])
-		}
+		})
 		refineNS := time.Since(refineStart).Nanoseconds()
 
 		// Assignment step: each series moves to its closest centroid.
+		// Each index writes only its own labels/assignDist slots, and the
+		// centroid scan is ascending with a strict comparison, so the
+		// outcome is worker-count independent.
 		assignStart := time.Now()
-		for i, x := range data {
+		par.For(cfg.Workers, n, func(i int) {
+			x := data[i]
 			best, bestJ := math.Inf(1), labels[i]
 			for j := 0; j < k; j++ {
 				if d := cfg.Distance(centroids[j], x); d < best {
@@ -164,7 +177,7 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 			}
 			labels[i] = bestJ
 			assignDist[i] = best
-		}
+		})
 
 		// Re-seed emptied clusters with the worst-fitting series.
 		reseeds := reseedEmptyClusters(data, labels, assignDist, k)
@@ -286,6 +299,10 @@ type KShapeOpts struct {
 	// OnIteration, if non-nil, receives per-iteration statistics exactly
 	// as in Config.OnIteration.
 	OnIteration func(obs.IterationStats)
+	// Workers bounds the loop's parallelism (Config.Workers semantics:
+	// <= 0 means runtime.NumCPU(), 1 means serial). Results and kernel
+	// counter totals are bit-for-bit identical for every value.
+	Workers int
 }
 
 // KShapeRun is the optimized k-Shape loop of KShape with explicit engine
@@ -335,23 +352,25 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 		centroids[j] = make([]float64, m)
 	}
 	assignDist := make([]float64, n)
+	queries := make([]*dist.SBDQuery, k)
 	res := &Result{Labels: labels, Centroids: centroids}
 	prev := make([]int, n)
 	for iter := 0; iter < maxIter; iter++ {
 		copy(prev, labels)
 
 		// Refinement: align members to the previous centroid with one
-		// batched query, then extract the new shape.
+		// batched query, then extract the new shape. Clusters refine in
+		// parallel; each goroutine owns its cluster's query and scratch.
 		refineStart := time.Now()
 		memberIdx := make([][]int, k)
 		for i, l := range labels {
 			memberIdx[l] = append(memberIdx[l], i)
 		}
-		for j := 0; j < k; j++ {
+		par.For(opt.Workers, k, func(j int) {
 			idxs := memberIdx[j]
 			if len(idxs) == 0 {
 				centroids[j] = make([]float64, m)
-				continue
+				return
 			}
 			aligned := make([][]float64, len(idxs))
 			if isAllZero(centroids[j]) {
@@ -366,23 +385,32 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 				}
 			}
 			centroids[j] = avg.ShapeExtractionAligned(aligned)
-		}
+		})
 		refineNS := time.Since(refineStart).Nanoseconds()
 
-		// Assignment: one batched query per centroid.
+		// Assignment: one batched query per centroid (prepared in
+		// parallel — exactly k forward FFTs, like the serial loop), then
+		// a parallel scan over series; each worker chunk brings its own
+		// inverse-FFT scratch so the queries are shared read-only. The
+		// per-series centroid scan is ascending with a strict comparison,
+		// so labels are worker-count independent.
 		assignStart := time.Now()
-		for i := range assignDist {
-			assignDist[i] = math.Inf(1)
-		}
-		for j := 0; j < k; j++ {
-			q := batch.Query(centroids[j])
-			for i := 0; i < n; i++ {
-				if d, _ := q.Distance(i); d < assignDist[i] {
-					assignDist[i] = d
-					labels[i] = j
+		par.For(opt.Workers, k, func(j int) {
+			queries[j] = batch.Query(centroids[j])
+		})
+		par.ForChunks(opt.Workers, n, func(lo, hi int) {
+			scratch := batch.Scratch()
+			for i := lo; i < hi; i++ {
+				best, bestJ := math.Inf(1), labels[i]
+				for j := 0; j < k; j++ {
+					if d, _ := queries[j].DistanceScratch(i, scratch); d < best {
+						best, bestJ = d, j
+					}
 				}
+				labels[i] = bestJ
+				assignDist[i] = best
 			}
-		}
+		})
 
 		reseeds := reseedEmptyClusters(data, labels, assignDist, k)
 		res.Iterations = iter + 1

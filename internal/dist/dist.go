@@ -8,8 +8,7 @@
 package dist
 
 import (
-	"runtime"
-	"sync"
+	"kshape/internal/par"
 )
 
 // Measure is a dissimilarity between two equal-length time series. A
@@ -36,41 +35,31 @@ func (f Func) Name() string { return f.Label }
 func (f Func) Distance(x, y []float64) float64 { return f.Fn(x, y) }
 
 // PairwiseMatrix computes the full symmetric n×n dissimilarity matrix of
-// data under d, parallelized across CPUs. This is the matrix that
+// data under d, parallelized across all CPUs. This is the matrix that
 // non-scalable methods (PAM, hierarchical, spectral) require as input —
 // the paper's main scalability critique of those methods.
 func PairwiseMatrix(d Measure, data [][]float64) [][]float64 {
+	return PairwiseMatrixWorkers(d, data, 0)
+}
+
+// PairwiseMatrixWorkers is PairwiseMatrix with an explicit degree of
+// parallelism (par.Resolve semantics: <= 0 means runtime.NumCPU(), 1 means
+// serial). The result is identical for every worker count: each upper-
+// triangle entry is computed exactly once and mirrored afterwards.
+func PairwiseMatrixWorkers(d Measure, data [][]float64, workers int) [][]float64 {
 	n := len(data)
 	out := make([][]float64, n)
 	backing := make([]float64, n*n)
 	for i := range out {
 		out[i] = backing[i*n : (i+1)*n]
 	}
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	rowCh := make(chan int, n)
-	for i := 0; i < n; i++ {
-		rowCh <- i
-	}
-	close(rowCh)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range rowCh {
-				for j := i + 1; j < n; j++ {
-					out[i][j] = d.Distance(data[i], data[j])
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	// Row i costs n-1-i evaluations; par's dynamic chunk scheduling keeps
+	// workers busy despite the triangular skew.
+	par.For(workers, n, func(i int) {
+		for j := i + 1; j < n; j++ {
+			out[i][j] = d.Distance(data[i], data[j])
+		}
+	})
 	// Mirror the upper triangle.
 	for i := 0; i < n; i++ {
 		for j := 0; j < i; j++ {

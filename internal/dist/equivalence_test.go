@@ -1,0 +1,168 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kshape/internal/ts"
+)
+
+// The repository carries four SBD implementations: the padded-FFT fast path
+// (SBD), the unpadded-FFT variant (SBDNoPow2), the naive O(m²) correlation
+// (SBDNoFFT), and the precomputed-spectrum batch path (SBDBatch/SBDQuery)
+// used by the k-Shape inner loop. They exist for Table 2's runtime
+// comparison, but they must all compute the same function; these tests pin
+// the cross-implementation agreement on a sweep of lengths chosen to hit
+// every padding regime: odd, even, exact powers of two, and one past a
+// power of two.
+
+const sbdTol = 1e-9
+
+var equivalenceLengths = []int{7, 16, 33, 64, 100, 128}
+
+func almostEqualSlices(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSBDImplementationsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, m := range equivalenceLengths {
+		for trial := 0; trial < 5; trial++ {
+			x := ts.ZNormalize(randSeries(m, rng))
+			y := ts.ZNormalize(randSeries(m, rng))
+
+			dFast, aFast := SBD(x, y)
+			dNoPow2, aNoPow2 := SBDNoPow2(x, y)
+			dNaive, aNaive := SBDNoFFT(x, y)
+
+			if math.Abs(dFast-dNoPow2) > sbdTol {
+				t.Errorf("m=%d: SBD=%v vs SBDNoPow2=%v", m, dFast, dNoPow2)
+			}
+			if math.Abs(dFast-dNaive) > sbdTol {
+				t.Errorf("m=%d: SBD=%v vs SBDNoFFT=%v", m, dFast, dNaive)
+			}
+			if !almostEqualSlices(aFast, aNoPow2, sbdTol) {
+				t.Errorf("m=%d: aligned output differs between SBD and SBDNoPow2", m)
+			}
+			if !almostEqualSlices(aFast, aNaive, sbdTol) {
+				t.Errorf("m=%d: aligned output differs between SBD and SBDNoFFT", m)
+			}
+		}
+	}
+}
+
+func TestSBDBatchAgreesWithAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range equivalenceLengths {
+		n := 6
+		data := make([][]float64, n)
+		for i := range data {
+			data[i] = ts.ZNormalize(randSeries(m, rng))
+		}
+		batch := NewSBDBatch(data)
+		q := ts.ZNormalize(randSeries(m, rng))
+		query := batch.Query(q)
+		for i := 0; i < n; i++ {
+			dBatch, shift := query.Distance(i)
+			dPlain, aligned := SBD(q, data[i])
+			if math.Abs(dBatch-dPlain) > sbdTol {
+				t.Errorf("m=%d i=%d: batch dist %v vs SBD %v", m, i, dBatch, dPlain)
+			}
+			// The batch path reports the alignment as a shift rather than a
+			// materialized series; applying it must reproduce SBD's aligned
+			// output.
+			if !almostEqualSlices(ts.Shift(data[i], shift), aligned, sbdTol) {
+				t.Errorf("m=%d i=%d: batch shift %d does not reproduce SBD alignment", m, i, shift)
+			}
+			dNaive, _ := SBDNoFFT(q, data[i])
+			if math.Abs(dBatch-dNaive) > sbdTol {
+				t.Errorf("m=%d i=%d: batch dist %v vs naive %v", m, i, dBatch, dNaive)
+			}
+		}
+	}
+}
+
+// TestSBDQueryScratchSharing pins the concurrency contract of
+// DistanceScratch: a query's spectrum is read-only, so any number of
+// scratch buffers must observe identical results, and the convenience
+// Distance method is exactly DistanceScratch with the query's own buffer.
+func TestSBDQueryScratchSharing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := 50
+	data := make([][]float64, 8)
+	for i := range data {
+		data[i] = ts.ZNormalize(randSeries(m, rng))
+	}
+	batch := NewSBDBatch(data)
+	query := batch.Query(ts.ZNormalize(randSeries(m, rng)))
+	for i := range data {
+		d1, s1 := query.Distance(i)
+		d2, s2 := query.DistanceScratch(i, batch.Scratch())
+		if d1 != d2 || s1 != s2 {
+			t.Fatalf("i=%d: Distance (%v, %d) != DistanceScratch (%v, %d)", i, d1, s1, d2, s2)
+		}
+	}
+}
+
+// TestSBDAllZeroConventionAcrossImplementations: every implementation must
+// agree on the degenerate all-zero case (a z-normalized constant series):
+// distance 1, no shift.
+func TestSBDAllZeroConventionAcrossImplementations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []int{7, 16, 100} {
+		zero := make([]float64, m)
+		x := ts.ZNormalize(randSeries(m, rng))
+
+		for _, tc := range []struct {
+			name string
+			fn   func(a, b []float64) (float64, []float64)
+		}{
+			{"SBD", SBD}, {"SBDNoPow2", SBDNoPow2}, {"SBDNoFFT", SBDNoFFT},
+		} {
+			for _, pair := range [][2][]float64{{x, zero}, {zero, x}, {zero, zero}} {
+				d, aligned := tc.fn(pair[0], pair[1])
+				if d != 1 {
+					t.Errorf("%s m=%d: zero-series dist = %v, want 1", tc.name, m, d)
+				}
+				if !almostEqualSlices(aligned, pair[1], 0) {
+					t.Errorf("%s m=%d: zero-series aligned output shifted; want unshifted input", tc.name, m)
+				}
+			}
+		}
+
+		batch := NewSBDBatch([][]float64{zero, x})
+		for _, q := range [][]float64{x, zero} {
+			query := batch.Query(q)
+			d, shift := query.Distance(0)
+			if d != 1 || shift != 0 {
+				t.Errorf("batch m=%d: query vs zero series = (%v, %d), want (1, 0)", m, d, shift)
+			}
+		}
+	}
+}
+
+// TestSBDMeasureAdaptersAgree closes the loop at the Measure interface:
+// the three named SBD measures must rank and value pairs identically.
+func TestSBDMeasureAdaptersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	measures := []Measure{SBDMeasure{}, SBDNoPow2Measure{}, SBDNoFFTMeasure{}}
+	for _, m := range []int{33, 64} {
+		x := ts.ZNormalize(randSeries(m, rng))
+		y := ts.ZNormalize(randSeries(m, rng))
+		ref := measures[0].Distance(x, y)
+		for _, msr := range measures[1:] {
+			if d := msr.Distance(x, y); math.Abs(d-ref) > sbdTol {
+				t.Errorf("m=%d: %s = %v, SBD = %v", m, msr.Name(), d, ref)
+			}
+		}
+	}
+}

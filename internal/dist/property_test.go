@@ -1,0 +1,171 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kshape/internal/ts"
+)
+
+// Metamorphic properties of the distance layer: invariances the paper's
+// Section 3 derives (shift invariance of SBD, the scaling/translation
+// invariance provided by z-normalization, symmetry of NCCc) expressed as
+// relations between transformed inputs rather than fixed expected values.
+
+// compactSupportSeries returns a length-m series whose non-zero values
+// occupy only the middle third, so that zero-padded shifts up to m/3 in
+// either direction lose none of the signal — the regime where a shifted
+// copy is *exactly* recoverable and SBD must be 0.
+func compactSupportSeries(m int, rng *rand.Rand) []float64 {
+	x := make([]float64, m)
+	for i := m / 3; i < 2*m/3; i++ {
+		x[i] = rng.NormFloat64() + math.Sin(6*float64(i)/float64(m))
+	}
+	return x
+}
+
+func TestSBDShiftInvarianceCompactSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, m := range []int{30, 64, 99} {
+		x := compactSupportSeries(m, rng)
+		for _, s := range []int{-m / 4, -3, -1, 1, 2, m / 4} {
+			y := ts.Shift(x, s)
+			d, aligned := SBD(x, y)
+			if math.Abs(d) > 1e-9 {
+				t.Errorf("m=%d s=%d: SBD(x, shift(x)) = %v, want 0", m, s, d)
+			}
+			if !almostEqualSlices(aligned, x, 1e-9) {
+				t.Errorf("m=%d s=%d: SBD did not recover the original alignment", m, s)
+			}
+			v, recovered := MaxNCC(x, y, NCCc)
+			if math.Abs(v-1) > 1e-9 {
+				t.Errorf("m=%d s=%d: max NCCc = %v, want 1", m, s, v)
+			}
+			if recovered != -s {
+				t.Errorf("m=%d s=%d: recovered shift %d, want %d", m, s, recovered, -s)
+			}
+		}
+	}
+}
+
+func TestSBDValueSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, m := range []int{17, 50, 128} {
+		for trial := 0; trial < 5; trial++ {
+			x := ts.ZNormalize(randSeries(m, rng))
+			y := ts.ZNormalize(randSeries(m, rng))
+			if dxy, dyx := SBDDist(x, y), SBDDist(y, x); math.Abs(dxy-dyx) > 1e-12 {
+				t.Errorf("m=%d: SBD(x,y)=%v != SBD(y,x)=%v", m, dxy, dyx)
+			}
+		}
+	}
+}
+
+// TestNCCcReversalSymmetry: cross-correlation reverses under argument
+// exchange, NCCc(x,y)[w] == NCCc(y,x)[2m-2-w], which implies the value
+// symmetry of SBD and shift anti-symmetry of the alignment.
+func TestNCCcReversalSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, m := range []int{9, 32, 70} {
+		x := randSeries(m, rng)
+		y := randSeries(m, rng)
+		fwd := NCCSequence(x, y, NCCc)
+		rev := NCCSequence(y, x, NCCc)
+		for w := range fwd {
+			if math.Abs(fwd[w]-rev[len(rev)-1-w]) > 1e-9 {
+				t.Fatalf("m=%d w=%d: NCCc(x,y)[w]=%v != NCCc(y,x)[2m-2-w]=%v",
+					m, w, fwd[w], rev[len(rev)-1-w])
+			}
+		}
+		vxy, sxy := MaxNCC(x, y, NCCc)
+		vyx, syx := MaxNCC(y, x, NCCc)
+		if math.Abs(vxy-vyx) > 1e-9 {
+			t.Errorf("m=%d: max NCCc asymmetric: %v vs %v", m, vxy, vyx)
+		}
+		if sxy != -syx {
+			t.Errorf("m=%d: shifts not anti-symmetric: %d vs %d", m, sxy, syx)
+		}
+	}
+}
+
+// TestSBDAffineInvarianceAfterZNorm: z-normalization removes any positive
+// affine transform a·x+b, so SBD on z-normalized inputs must not see it —
+// the translation/scaling invariances of Section 3.1.
+func TestSBDAffineInvarianceAfterZNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, m := range []int{25, 80} {
+		x := randSeries(m, rng)
+		y := randSeries(m, rng)
+		base := SBDDist(ts.ZNormalize(x), ts.ZNormalize(y))
+		for _, tf := range []struct{ a, b float64 }{{3.5, 0}, {1, -12}, {0.25, 7.5}} {
+			xt := make([]float64, m)
+			for i := range x {
+				xt[i] = tf.a*x[i] + tf.b
+			}
+			d := SBDDist(ts.ZNormalize(xt), ts.ZNormalize(y))
+			if math.Abs(d-base) > 1e-9 {
+				t.Errorf("m=%d a=%v b=%v: SBD changed under affine transform: %v vs %v",
+					m, tf.a, tf.b, d, base)
+			}
+		}
+	}
+}
+
+// TestPairwiseMatrixProperties: any Measure's matrix must be symmetric with
+// a zero diagonal (both SBD and ED are true dissimilarities on identical
+// inputs), and the parallel builder must be bit-identical to serial for
+// every worker count.
+func TestPairwiseMatrixProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, m := 17, 40
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = ts.ZNormalize(randSeries(m, rng))
+	}
+	for _, msr := range []Measure{SBDMeasure{}, EDMeasure{}} {
+		serial := PairwiseMatrixWorkers(msr, data, 1)
+		for i := 0; i < n; i++ {
+			if serial[i][i] != 0 {
+				t.Errorf("%s: diagonal[%d] = %v, want 0", msr.Name(), i, serial[i][i])
+			}
+			for j := 0; j < n; j++ {
+				if serial[i][j] != serial[j][i] {
+					t.Errorf("%s: matrix asymmetric at (%d,%d)", msr.Name(), i, j)
+				}
+			}
+		}
+		for _, workers := range []int{2, 8} {
+			par := PairwiseMatrixWorkers(msr, data, workers)
+			for i := range serial {
+				for j := range serial[i] {
+					if par[i][j] != serial[i][j] {
+						t.Fatalf("%s workers=%d: matrix[%d][%d] = %v, serial = %v (must be bit-identical)",
+							msr.Name(), workers, i, j, par[i][j], serial[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSBDTriangleRange pins the codomain: SBD stays within [0, 2] on
+// z-normalized inputs for every variant, including adversarial
+// anti-correlated pairs.
+func TestSBDTriangleRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := 60
+	x := ts.ZNormalize(randSeries(m, rng))
+	neg := make([]float64, m)
+	for i := range x {
+		neg[i] = -x[i]
+	}
+	for _, pair := range [][2][]float64{{x, neg}, {x, ts.Reverse(x)}, {neg, ts.Reverse(x)}} {
+		for _, fn := range []func(a, b []float64) (float64, []float64){SBD, SBDNoPow2, SBDNoFFT} {
+			d, _ := fn(pair[0], pair[1])
+			if d < 0 || d > 2 {
+				t.Errorf("SBD out of [0, 2]: %v", d)
+			}
+		}
+	}
+}

@@ -79,6 +79,18 @@ func (b *SBDBatch) Query(q []float64) *SBDQuery {
 // Distance returns SBD(q, x_i) and the shift aligning x_i toward q
 // (aligned x_i = ts.Shift(x_i, shift)), exactly matching SBD/Algorithm 1.
 func (s *SBDQuery) Distance(i int) (dist float64, shift int) {
+	return s.DistanceScratch(i, s.scratch)
+}
+
+// Scratch allocates a buffer usable with DistanceScratch. Each goroutine
+// sharing one SBDQuery needs its own.
+func (b *SBDBatch) Scratch() []complex128 { return make([]complex128, b.l) }
+
+// DistanceScratch is Distance computed in the caller-provided scratch
+// buffer (length SBDBatch.Scratch()), which lets multiple goroutines share
+// one prepared query — the query's spectrum is only read — without
+// repeating its forward FFT.
+func (s *SBDQuery) DistanceScratch(i int, scratch []complex128) (dist float64, shift int) {
 	obs.Inc(obs.CounterSBD)
 	b := s.batch
 	m := b.m
@@ -87,16 +99,16 @@ func (s *SBDQuery) Distance(i int) (dist float64, shift int) {
 		return 1, 0 // degenerate-input convention, as in SBD
 	}
 	for k, c := range b.conj[i] {
-		s.scratch[k] = s.spec[k] * c
+		scratch[k] = s.spec[k] * c
 	}
-	fft.Inverse(s.scratch)
+	fft.Inverse(scratch)
 	best, bestLag := math.Inf(-1), 0
 	for lag := -(m - 1); lag <= m-1; lag++ {
 		idx := lag
 		if idx < 0 {
 			idx += b.l
 		}
-		if v := real(s.scratch[idx]); v > best {
+		if v := real(scratch[idx]); v > best {
 			best, bestLag = v, lag
 		}
 	}

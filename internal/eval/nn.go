@@ -2,18 +2,25 @@ package eval
 
 import (
 	"math"
-	"runtime"
 	"sync"
 
 	"kshape/internal/dist"
+	"kshape/internal/par"
 	"kshape/internal/ts"
 )
 
 // OneNNAccuracy evaluates a distance measure by 1-NN classification
 // (Section 4, "Metrics"): each test series is assigned the label of its
 // nearest training series under d, and the returned value is the fraction
-// classified correctly. Queries run in parallel across CPUs.
+// classified correctly. Queries run in parallel across all CPUs.
 func OneNNAccuracy(d dist.Measure, train, test []ts.Series) float64 {
+	return OneNNAccuracyWorkers(d, train, test, 0)
+}
+
+// OneNNAccuracyWorkers is OneNNAccuracy with an explicit degree of
+// parallelism (par.Resolve semantics: <= 0 means runtime.NumCPU(), 1 means
+// serial). The accuracy is identical for every worker count.
+func OneNNAccuracyWorkers(d dist.Measure, train, test []ts.Series, workers int) float64 {
 	if len(test) == 0 || len(train) == 0 {
 		return 0
 	}
@@ -21,7 +28,7 @@ func OneNNAccuracy(d dist.Measure, train, test []ts.Series) float64 {
 	correct := classifyCount(func(q []float64) int {
 		idx, _ := dist.NNIndex(d, q, refs)
 		return train[idx].Label
-	}, test)
+	}, test, workers)
 	return float64(correct) / float64(len(test))
 }
 
@@ -33,58 +40,27 @@ func OneNNAccuracyLB(window int, train, test []ts.Series) float64 {
 	}
 	refs := ts.Rows(train)
 	// Each worker needs its own searcher (it keeps mutable counters).
-	var mu sync.Mutex
-	searchers := []*dist.LBNNSearcher{}
 	pool := sync.Pool{New: func() any {
-		s := dist.NewLBNNSearcher(refs, window)
-		mu.Lock()
-		searchers = append(searchers, s)
-		mu.Unlock()
-		return s
+		return dist.NewLBNNSearcher(refs, window)
 	}}
 	correct := classifyCount(func(q []float64) int {
 		s := pool.Get().(*dist.LBNNSearcher)
 		defer pool.Put(s)
 		idx, _ := s.NN(q)
 		return train[idx].Label
-	}, test)
+	}, test, 0)
 	return float64(correct) / float64(len(test))
 }
 
 // classifyCount runs classify over all test series in parallel and counts
 // correct predictions.
-func classifyCount(classify func(q []float64) int, test []ts.Series) int {
-	workers := runtime.NumCPU()
-	if workers > len(test) {
-		workers = len(test)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	idxCh := make(chan int, len(test))
-	for i := range test {
-		idxCh <- i
-	}
-	close(idxCh)
-	var wg sync.WaitGroup
-	counts := make([]int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := range idxCh {
-				if classify(test[i].Values) == test[i].Label {
-					counts[w]++
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	return total
+func classifyCount(classify func(q []float64) int, test []ts.Series, workers int) int {
+	return par.SumInt(workers, len(test), func(i int) int {
+		if classify(test[i].Values) == test[i].Label {
+			return 1
+		}
+		return 0
+	})
 }
 
 // TuneCDTWWindow finds the cDTWopt warping window (Section 4, "Parameter
@@ -111,45 +87,23 @@ func TuneCDTWWindow(train []ts.Series, maxFrac float64) (window int, looAccuracy
 }
 
 // looAccuracyCDTW computes leave-one-out 1-NN accuracy on train under cDTW
-// with the given window.
+// with the given window, parallelized across held-out points.
 func looAccuracyCDTW(train []ts.Series, window int) float64 {
 	n := len(train)
-	correct := 0
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	idxCh := make(chan int, n)
-	for i := 0; i < n; i++ {
-		idxCh <- i
-	}
-	close(idxCh)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			local := 0
-			for i := range idxCh {
-				best, bestJ := math.Inf(1), -1
-				for j := 0; j < n; j++ {
-					if j == i {
-						continue
-					}
-					if d := dist.CDTW(train[i].Values, train[j].Values, window); d < best {
-						best, bestJ = d, j
-					}
-				}
-				if bestJ >= 0 && train[bestJ].Label == train[i].Label {
-					local++
-				}
+	correct := par.SumInt(0, n, func(i int) int {
+		best, bestJ := math.Inf(1), -1
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
 			}
-			mu.Lock()
-			correct += local
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
+			if d := dist.CDTW(train[i].Values, train[j].Values, window); d < best {
+				best, bestJ = d, j
+			}
+		}
+		if bestJ >= 0 && train[bestJ].Label == train[i].Label {
+			return 1
+		}
+		return 0
+	})
 	return float64(correct) / float64(n)
 }

@@ -81,7 +81,7 @@ func Ablations(cfg Config) AblationResult {
 	for vi, v := range variants {
 		row := ClusterRow{Name: v.name, RandIndexes: make([]float64, len(cfg.Datasets))}
 		start := time.Now()
-		parallelOver(len(cfg.Datasets), func(d int) {
+		cfg.parallelOver(len(cfg.Datasets), func(d int) {
 			ds := cfg.Datasets[d]
 			data := ts.Rows(ds.All())
 			truth := ts.Labels(ds.All())

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"math/rand"
-	"runtime"
 	"sync"
 	"time"
 
@@ -12,6 +11,7 @@ import (
 	"kshape/internal/dist"
 	"kshape/internal/eval"
 	"kshape/internal/obs"
+	"kshape/internal/par"
 	"kshape/internal/stats"
 	"kshape/internal/ts"
 )
@@ -166,7 +166,7 @@ func runClusterer(cfg Config, c cluster.Clusterer, runs int) ClusterRow {
 			evalDataset(d)
 		}
 	} else {
-		parallelOver(len(datasets), evalDataset)
+		cfg.parallelOver(len(datasets), evalDataset)
 	}
 	row.Runtime = time.Since(start)
 	cfg.progressf("clustering: %s done in %v (avg RI %.3f)", c.Name(), row.Runtime, Mean(row.RandIndexes))
@@ -177,8 +177,12 @@ func runClusterer(cfg Config, c cluster.Clusterer, runs int) ClusterRow {
 // time, Rand Index, counter delta, iteration trajectory) when metrics
 // collection is on. It returns the run's Rand Index.
 func observedRun(cfg Config, c cluster.Clusterer, data [][]float64, truth []int, dsName string, k, run int, rng *rand.Rand) (float64, bool) {
+	// Individual runs stay serial (Workers: 1): without Metrics the sweep
+	// already parallelizes across datasets, and with Metrics a serial run
+	// keeps the counter deltas and per-phase timings attributable to one
+	// run at a time.
 	if cfg.Metrics == nil {
-		res, err := cluster.Run(c, data, k, rng, cluster.Opts{})
+		res, err := cluster.Run(c, data, k, rng, cluster.Opts{Workers: 1})
 		if err != nil {
 			return 0, false
 		}
@@ -189,6 +193,7 @@ func observedRun(cfg Config, c cluster.Clusterer, data [][]float64, truth []int,
 	start := time.Now()
 	res, err := cluster.Run(c, data, k, rng, cluster.Opts{
 		OnIteration: func(st obs.IterationStats) { traj = append(traj, st) },
+		Workers:     1,
 	})
 	elapsed := time.Since(start)
 	if err != nil {
@@ -361,31 +366,10 @@ func kmeansOnEmbedding(emb [][]float64, k int, rng *rand.Rand) (*core.Result, er
 	})
 }
 
-// parallelOver runs fn(i) for i in [0, n) across CPU workers.
-func parallelOver(n int, fn func(int)) {
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	idx := make(chan int, n)
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+// parallelOver runs fn(i) for i in [0, n) across the configured number of
+// workers, on the shared internal/par substrate.
+func (c Config) parallelOver(n int, fn func(int)) {
+	par.For(c.Workers, n, fn)
 }
 
 // RowByName returns the named row (including the baseline), or nil.

@@ -41,6 +41,12 @@ type Config struct {
 	// When Metrics is set, clustering sweeps run datasets serially so that
 	// each record's counter delta is attributable to that run alone.
 	Metrics *obs.Collector
+	// Workers bounds the dataset-level parallelism of the experiment
+	// sweeps (par.Resolve semantics: <= 0 means runtime.NumCPU(), 1 means
+	// serial). Individual clustering runs inside a sweep always execute
+	// serially so that per-run records stay attributable; results are
+	// identical for every value.
+	Workers int
 }
 
 // DefaultConfig is the full-scale configuration used by cmd/kbench: all 48

@@ -39,10 +39,10 @@ func KEstimation(cfg Config) KEstimationResult {
 	var res KEstimationResult
 	start := time.Now()
 	res.Rows = make([]KEstimationRow, len(cfg.Datasets))
-	parallelOver(len(cfg.Datasets), func(di int) {
+	cfg.parallelOver(len(cfg.Datasets), func(di int) {
 		ds := cfg.Datasets[di]
 		data := ts.Rows(ds.All())
-		d := dist.PairwiseMatrix(dist.SBDMeasure{}, data)
+		d := dist.PairwiseMatrixWorkers(dist.SBDMeasure{}, data, 1) // datasets already run in parallel
 		kMax := ds.K + 3
 		if kMax > len(data)-1 {
 			kMax = len(data) - 1

@@ -1,0 +1,227 @@
+// Package par is the repository's shared parallel-execution substrate: a
+// stdlib-only work-partitioning layer used by every compute-heavy loop in
+// the codebase (distance-matrix construction, the k-Shape assignment and
+// refinement steps, DBA alignment passes, PAM cost scans, spectral affinity
+// rows, and 1-NN evaluation).
+//
+// The design goal is determinism: for a fixed input, every exported helper
+// produces bit-for-bit identical results regardless of the worker count or
+// goroutine scheduling. The rules that make this hold are:
+//
+//   - For/ForChunks parallelize loops whose body writes only to state
+//     addressed by the loop index (out[i] = f(i)); the write targets are
+//     disjoint, so scheduling order is irrelevant.
+//   - Floating-point reductions (SumFloat) evaluate the per-index terms in
+//     parallel but combine them serially in index order, so the rounding
+//     of the accumulation never depends on how work was partitioned.
+//   - Index reductions (MinIndex, MaxIndex) break ties toward the smaller
+//     index, which makes the merge associative and commutative over exact
+//     comparisons and therefore partition-independent; the result matches
+//     a serial ascending scan with a strict comparison.
+//
+// Work is scheduled dynamically: the index range is split into a few
+// contiguous chunks per worker and goroutines claim chunks through an
+// atomic cursor, which balances loops with heterogeneous per-index cost
+// (triangular distance-matrix rows, uneven cluster sizes) without hurting
+// the determinism contract above.
+package par
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// chunksPerWorker oversamples the chunk count relative to the worker count
+// so that dynamic scheduling can balance uneven per-index costs. Larger
+// values smooth skew at the price of more cursor contention.
+const chunksPerWorker = 4
+
+// Resolve maps a requested worker count to the effective one: any value
+// below 1 means runtime.NumCPU() (the package-wide default), and positive
+// values are taken as-is. 1 means fully serial execution on the caller's
+// goroutine.
+func Resolve(workers int) int {
+	if workers < 1 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// For runs fn(i) for every i in [0, n) using at most Resolve(workers)
+// concurrent goroutines. fn must only write to state addressed by i (or
+// otherwise owned by index i); under that contract the results are
+// identical for every worker count. With workers == 1 (or n <= 1) the loop
+// runs serially on the calling goroutine with no synchronization.
+func For(workers, n int, fn func(i int)) {
+	ForChunks(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForChunks partitions [0, n) into contiguous half-open chunks [lo, hi) and
+// invokes fn once per chunk, using at most Resolve(workers) concurrent
+// goroutines. Chunks are disjoint and cover the full range exactly once.
+// Use it instead of For when the body wants per-chunk setup (a scratch
+// buffer, a batched query) amortized over many indices.
+func ForChunks(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	chunks := w * chunksPerWorker
+	if chunks > n {
+		chunks = n
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				fn(c*n/chunks, (c+1)*n/chunks)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SumFloat returns the sum of term(i) for i in [0, n). The terms are
+// evaluated in parallel but accumulated serially in ascending index order,
+// so the floating-point result is bit-for-bit identical for every worker
+// count (including the serial path).
+func SumFloat(workers, n int, term func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if Resolve(workers) == 1 || n == 1 {
+		total := 0.0
+		for i := 0; i < n; i++ {
+			total += term(i)
+		}
+		return total
+	}
+	vals := make([]float64, n)
+	For(workers, n, func(i int) { vals[i] = term(i) })
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+// SumInt returns the sum of term(i) for i in [0, n), evaluated in parallel.
+// Integer addition is exact, so per-chunk partial sums are combined without
+// any ordering concern.
+func SumInt(workers, n int, term func(i int) int) int {
+	if n <= 0 {
+		return 0
+	}
+	if Resolve(workers) == 1 || n == 1 {
+		total := 0
+		for i := 0; i < n; i++ {
+			total += term(i)
+		}
+		return total
+	}
+	var total atomic.Int64
+	ForChunks(workers, n, func(lo, hi int) {
+		local := 0
+		for i := lo; i < hi; i++ {
+			local += term(i)
+		}
+		total.Add(int64(local))
+	})
+	return int(total.Load())
+}
+
+// MinIndex returns the index in [0, n) minimizing score(i) together with
+// that score, breaking ties toward the smaller index — exactly the result
+// of a serial ascending scan keeping the first strict improvement. NaN
+// scores are never selected; if no index scores below +Inf the result is
+// (-1, +Inf). The outcome is identical for every worker count.
+func MinIndex(workers, n int, score func(i int) float64) (argmin int, min float64) {
+	return extremeIndex(workers, n, score, func(v, best float64) bool { return v < best })
+}
+
+// MaxIndex is MinIndex for maximization: ties break toward the smaller
+// index, NaN scores are never selected, and (-1, -Inf) is returned when no
+// index scores above -Inf.
+func MaxIndex(workers, n int, score func(i int) float64) (argmax int, max float64) {
+	a, v := extremeIndex(workers, n, func(i int) float64 { return -score(i) },
+		func(v, best float64) bool { return v < best })
+	return a, -v
+}
+
+func extremeIndex(workers, n int, score func(i int) float64, better func(v, best float64) bool) (int, float64) {
+	inf := math.Inf(1)
+	type candidate struct {
+		idx int
+		val float64
+	}
+	scan := func(lo, hi int) candidate {
+		best := candidate{-1, inf}
+		for i := lo; i < hi; i++ {
+			if v := score(i); better(v, best.val) {
+				best = candidate{i, v}
+			}
+		}
+		return best
+	}
+	w := Resolve(workers)
+	if n <= 0 {
+		return -1, inf
+	}
+	if w == 1 || n == 1 {
+		c := scan(0, n)
+		return c.idx, c.val
+	}
+	if w > n {
+		w = n
+	}
+	chunks := w * chunksPerWorker
+	if chunks > n {
+		chunks = n
+	}
+	partial := make([]candidate, chunks)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				partial[c] = scan(c*n/chunks, (c+1)*n/chunks)
+			}
+		}()
+	}
+	wg.Wait()
+	// Merge in chunk (hence index) order; strict comparison keeps the
+	// smallest index on ties, matching the serial scan.
+	best := candidate{-1, inf}
+	for _, c := range partial {
+		if c.idx >= 0 && better(c.val, best.val) {
+			best = c
+		}
+	}
+	return best.idx, best.val
+}

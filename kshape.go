@@ -28,6 +28,7 @@ import (
 	"kshape/internal/dist"
 	"kshape/internal/eval"
 	"kshape/internal/obs"
+	"kshape/internal/par"
 	"kshape/internal/ts"
 )
 
@@ -93,6 +94,13 @@ type Options struct {
 	// accumulation is process-global, so concurrent clustering runs in
 	// other goroutines contribute to this run's counter deltas.
 	CollectTrace bool
+	// Workers bounds the clustering's parallelism: 0 (the default) means
+	// runtime.NumCPU(), 1 means fully serial, and any other positive
+	// value caps the number of concurrent workers. Every method computes
+	// through the deterministic internal/par substrate, so labels,
+	// centroids, iteration traces, and kernel counters are bit-for-bit
+	// identical for every Workers value under a fixed Seed.
+	Workers int
 }
 
 // Cluster partitions equal-length time series into k clusters with k-Shape
@@ -105,7 +113,7 @@ func Cluster(data [][]float64, k int, opts Options) (*Result, error) {
 	if name == "" {
 		name = "k-Shape"
 	}
-	c, ok := methodRegistry()[name]
+	c, ok := methodRegistry(opts.Workers)[name]
 	if !ok {
 		return nil, fmt.Errorf("kshape: unknown method %q (see kshape.Methods)", name)
 	}
@@ -154,6 +162,7 @@ func Cluster(data [][]float64, k int, opts Options) (*Result, error) {
 	res, err := cluster.Run(c, prepared, k, rng, cluster.Opts{
 		MaxIterations: opts.MaxIterations,
 		OnIteration:   onIter,
+		Workers:       opts.Workers,
 	})
 	if opts.CollectTrace {
 		trace.TotalNS = time.Since(started).Nanoseconds()
@@ -214,8 +223,18 @@ func Methods() []string {
 	}
 }
 
-func methodRegistry() map[string]cluster.Clusterer {
+func methodRegistry(workers int) map[string]cluster.Clusterer {
 	cdtw5 := dist.NewCDTWFrac("cDTW5", 0.05)
+	pam := func(m dist.Measure) cluster.Clusterer {
+		p := cluster.NewPAM(m)
+		p.Workers = workers
+		return p
+	}
+	spectral := func(m dist.Measure) cluster.Clusterer {
+		s := cluster.NewSpectral(m)
+		s.Workers = workers
+		return s
+	}
 	reg := map[string]cluster.Clusterer{
 		"k-Shape":     cluster.NewKShape(),
 		"k-AVG+ED":    cluster.NewKAvgED(),
@@ -224,12 +243,12 @@ func methodRegistry() map[string]cluster.Clusterer {
 		"k-DBA":       cluster.NewKDBA(),
 		"KSC":         cluster.NewKSC(),
 		"k-Shape+DTW": cluster.NewKShapeDTW(),
-		"PAM+ED":      cluster.NewPAM(dist.EDMeasure{}),
-		"PAM+cDTW5":   cluster.NewPAM(cdtw5),
-		"PAM+SBD":     cluster.NewPAM(dist.SBDMeasure{}),
-		"S+ED":        cluster.NewSpectral(dist.EDMeasure{}),
-		"S+cDTW5":     cluster.NewSpectral(cdtw5),
-		"S+SBD":       cluster.NewSpectral(dist.SBDMeasure{}),
+		"PAM+ED":      pam(dist.EDMeasure{}),
+		"PAM+cDTW5":   pam(cdtw5),
+		"PAM+SBD":     pam(dist.SBDMeasure{}),
+		"S+ED":        spectral(dist.EDMeasure{}),
+		"S+cDTW5":     spectral(cdtw5),
+		"S+SBD":       spectral(dist.SBDMeasure{}),
 
 		// The statistical/feature-based contrast of Section 6.
 		"Features+k-means": cluster.NewFeatureBased(),
@@ -365,6 +384,13 @@ func measureByName(name string) (dist.Measure, bool) {
 // Series are z-normalized first unless skipNormalization. Training rows and
 // labels must align; all series must share one length.
 func Classify1NN(train [][]float64, labels []int, queries [][]float64, measure string, skipNormalization bool) ([]int, error) {
+	return Classify1NNWorkers(train, labels, queries, measure, skipNormalization, 0)
+}
+
+// Classify1NNWorkers is Classify1NN with an explicit degree of parallelism
+// across queries: workers <= 0 means runtime.NumCPU(), 1 means fully
+// serial. Predicted labels are identical for every worker count.
+func Classify1NNWorkers(train [][]float64, labels []int, queries [][]float64, measure string, skipNormalization bool, workers int) ([]int, error) {
 	if len(train) == 0 {
 		return nil, errors.New("kshape: empty training set")
 	}
@@ -386,25 +412,28 @@ func Classify1NN(train [][]float64, labels []int, queries [][]float64, measure s
 		return out
 	}
 	refs := prep(train)
+	qs := prep(queries)
 	out := make([]int, len(queries))
-	for i, q := range prep(queries) {
-		idx, _ := dist.NNIndex(m, q, refs)
+	par.For(workers, len(qs), func(i int) {
+		idx, _ := dist.NNIndex(m, qs[i], refs)
 		out[i] = labels[idx]
-	}
+	})
 	return out, nil
 }
 
 // Predict assigns each query series to the nearest centroid under SBD,
 // enabling out-of-sample extension of a clustering. Queries are
-// z-normalized first unless skipNormalization.
+// z-normalized first unless skipNormalization. Queries run in parallel
+// across all CPUs; the assignment is deterministic regardless.
 func Predict(centroids [][]float64, queries [][]float64, skipNormalization bool) []int {
 	out := make([]int, len(queries))
-	for i, q := range queries {
+	par.For(0, len(queries), func(i int) {
+		q := queries[i]
 		if !skipNormalization {
 			q = ts.ZNormalize(q)
 		}
 		idx, _ := dist.NNIndex(dist.SBDMeasure{}, q, centroids)
 		out[i] = idx
-	}
+	})
 	return out
 }

@@ -132,7 +132,7 @@ func TestClusterErrors(t *testing.T) {
 }
 
 func TestMethodsRegistryComplete(t *testing.T) {
-	reg := methodRegistry()
+	reg := methodRegistry(0)
 	for _, name := range Methods() {
 		if _, ok := reg[name]; !ok {
 			t.Errorf("Methods lists %q but the registry lacks it", name)
