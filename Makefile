@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test test-short test-race vet fmt-check check bench
+.PHONY: build test test-short test-race vet fmt-check check bench smoke
 
 build:
 	$(GO) build ./...
@@ -28,9 +28,23 @@ vet:
 fmt-check:
 	@out=$$($(GOFMT) -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# Pre-commit gate: formatting, static analysis, the full test suite, and the
-# race-detector pass over the parallel packages, in that order.
-check: fmt-check vet test test-race
+# Telemetry smoke test: a real clustering run with -listen, scraped over
+# HTTP, asserting the kernel counters and phase histograms appear on
+# /metrics (see cmd/kshape/telemetry_test.go).
+smoke:
+	$(GO) test -run TestTelemetrySmoke -count=1 ./cmd/kshape/
 
+# Pre-commit gate: formatting, static analysis, the full test suite, the
+# race-detector pass over the parallel packages, and the telemetry smoke
+# test, in that order.
+check: fmt-check vet test test-race smoke
+
+# Runs every benchmark once (including the serial-vs-parallel family with
+# its speedup and kernel-counter metrics) and regenerates the committed
+# BENCH_kshape.json via cmd/benchjson. The intermediate bench.out keeps
+# the raw `go test -bench` text around for inspection; it is gitignored.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchtime=1x -run=^$$ . > bench.out
+	cat bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_kshape.json bench.out
+	@echo "wrote BENCH_kshape.json"

@@ -21,6 +21,7 @@ import (
 	"kshape/internal/dist"
 	"kshape/internal/eval"
 	"kshape/internal/experiments"
+	"kshape/internal/obs"
 	"kshape/internal/ts"
 )
 
@@ -329,29 +330,60 @@ func reportSpeedup(b *testing.B, serial time.Duration) {
 	}
 }
 
+// benchCounters enables kernel-counter collection and returns a stop
+// function that reports each nonzero counter delta as a per-op metric
+// ("fft/op", "sbd/op", ...), which cmd/benchjson folds into
+// BENCH_kshape.json. Call it after any untimed setup or serial-baseline
+// work so the delta covers only the measured loop; the atomic increments
+// add a few nanoseconds per kernel call, negligible at the granularity
+// these benchmarks measure.
+func benchCounters(b *testing.B) func() {
+	b.Helper()
+	prev := obs.SetEnabled(true)
+	before := obs.ReadCounters()
+	return func() {
+		delta := obs.ReadCounters().Sub(before)
+		obs.SetEnabled(prev)
+		if b.N == 0 {
+			return
+		}
+		delta.Each(func(name string, v int64) {
+			if v != 0 {
+				b.ReportMetric(float64(v)/float64(b.N), name+"/op")
+			}
+		})
+	}
+}
+
 func BenchmarkDistanceMatrixSBDSerial(b *testing.B) {
 	data := ts.Rows(dataset.CBF(120, 128, 1))
+	stop := benchCounters(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dist.PairwiseMatrixWorkers(dist.SBDMeasure{}, data, 1)
 	}
+	b.StopTimer()
+	stop()
 }
 
 func BenchmarkDistanceMatrixSBDParallel(b *testing.B) {
 	data := ts.Rows(dataset.CBF(120, 128, 1))
 	serial := serialBaseline(func() { dist.PairwiseMatrixWorkers(dist.SBDMeasure{}, data, 1) })
+	stop := benchCounters(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dist.PairwiseMatrixWorkers(dist.SBDMeasure{}, data, benchParallelWorkers)
 	}
 	b.StopTimer()
+	stop()
 	reportSpeedup(b, serial)
 }
 
 func BenchmarkKShapeRefinementSerial(b *testing.B) {
 	data := ts.Rows(dataset.CBF(240, 128, 1))
+	stop := benchCounters(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -359,6 +391,8 @@ func BenchmarkKShapeRefinementSerial(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	stop()
 }
 
 func BenchmarkKShapeRefinementParallel(b *testing.B) {
@@ -368,6 +402,7 @@ func BenchmarkKShapeRefinementParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 	})
+	stop := benchCounters(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -376,29 +411,35 @@ func BenchmarkKShapeRefinementParallel(b *testing.B) {
 		}
 	}
 	b.StopTimer()
+	stop()
 	reportSpeedup(b, serial)
 }
 
 func BenchmarkOneNNSerial(b *testing.B) {
 	train := dataset.CBF(90, 128, 1)
 	test := dataset.CBF(60, 128, 2)
+	stop := benchCounters(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eval.OneNNAccuracyWorkers(dist.SBDMeasure{}, train, test, 1)
 	}
+	b.StopTimer()
+	stop()
 }
 
 func BenchmarkOneNNParallel(b *testing.B) {
 	train := dataset.CBF(90, 128, 1)
 	test := dataset.CBF(60, 128, 2)
 	serial := serialBaseline(func() { eval.OneNNAccuracyWorkers(dist.SBDMeasure{}, train, test, 1) })
+	stop := benchCounters(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eval.OneNNAccuracyWorkers(dist.SBDMeasure{}, train, test, benchParallelWorkers)
 	}
 	b.StopTimer()
+	stop()
 	reportSpeedup(b, serial)
 }
 

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"kshape/internal/cli"
 	"kshape/internal/dataset"
 	"kshape/internal/ts"
 )
@@ -34,7 +35,16 @@ func run(args []string) error {
 	cbfN := fs.Int("cbf-n", 0, "if > 0, write a CBF workload with this many series instead of the archive")
 	cbfM := fs.Int("cbf-m", 128, "CBF series length")
 	seed := fs.Int64("seed", 1, "CBF seed")
+	var common cli.Common
+	common.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if common.HandleVersion(os.Stderr, "datagen") {
+		return nil
+	}
+	logger, err := common.Logger("datagen", os.Stderr)
+	if err != nil {
 		return err
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -47,8 +57,10 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(path)
+		logger.Debug("wrote CBF workload", "path", path, "n", *cbfN, "m", *cbfM, "seed", *seed)
 		return nil
 	}
+	files := 0
 	for _, spec := range dataset.ArchiveSpecs() {
 		if *name != "" && spec.Name != *name {
 			continue
@@ -64,7 +76,10 @@ func run(args []string) error {
 		}
 		fmt.Println(trainPath)
 		fmt.Println(testPath)
+		logger.Debug("wrote dataset", "dataset", spec.Name, "train", trainPath, "test", testPath)
+		files += 2
 	}
+	logger.Debug("archive generation complete", "files", files, "dir", *dir)
 	return nil
 }
 

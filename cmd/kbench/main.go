@@ -5,6 +5,7 @@
 //
 //	kbench [-datasets N] [-runs R] [-spectral-runs S] [-seed X] [-v]
 //	       [-metrics out.json] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	       [-listen :9090] [-log-level info] [-log-json] [-version]
 //	       <experiment>...
 //
 // Experiments: table2, table3, table4, fig2, fig3, fig4, fig5, fig6, fig7,
@@ -21,6 +22,12 @@
 // including per-iteration inertia/churn trajectories for the iterative
 // clustering methods. -cpuprofile/-memprofile capture runtime/pprof
 // profiles of the same run.
+//
+// -listen ADDR serves live telemetry while the experiments execute:
+// /metrics (Prometheus text format), /healthz, /debug/vars, and
+// /debug/pprof — useful for watching kernel-counter rates and phase
+// latency histograms during a long sweep. Progress output is structured
+// (-v enables it; -log-json switches to JSON lines).
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"kshape/internal/cli"
 	"kshape/internal/experiments"
 	"kshape/internal/obs"
 	"kshape/internal/plot"
@@ -70,17 +78,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 	runs := fs.Int("runs", 5, "random restarts for partitional methods (paper: 10)")
 	spectralRuns := fs.Int("spectral-runs", 10, "random restarts for spectral methods (paper: 100)")
 	seed := fs.Int64("seed", 1, "base random seed")
-	verbose := fs.Bool("v", false, "print progress lines to stderr")
+	verbose := fs.Bool("v", false, "log one structured progress record per completed unit of work to stderr")
 	svgDir := fs.String("svgdir", "", "also write the scatter/rank/runtime figures as SVG files into this directory")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics report (kernel counters, phase timings, per-run records) to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a runtime/pprof heap profile to this file at exit")
-	workers := fs.Int("workers", runtime.NumCPU(), "max concurrent dataset workers per sweep (1 = serial; results are identical for any value; ignored with -metrics, which runs serially for counter attribution)")
+	workers := fs.Int("workers", runtime.NumCPU(), "max concurrent dataset workers per sweep (1 = serial; results are identical for any value; ignored with -metrics, which runs serially so counter deltas stay attributable to one run)")
+	var common cli.Common
+	common.Register(fs)
+	common.RegisterListen(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if common.HandleVersion(stderr, "kbench") {
+		return nil
+	}
+	logger, err := common.Logger("kbench", stderr)
+	if err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("no experiment named; choose from: %s, all", strings.Join(experimentNames, " "))
+	}
+	// -metrics forces serial sweeps for counter attribution; warn when the
+	// user explicitly asked for parallelism that will be ignored.
+	workersSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
+	if *metricsPath != "" && workersSet && *workers > 1 {
+		logger.Warn("-metrics runs dataset sweeps serially so per-run counter deltas stay attributable; explicit -workers is ignored",
+			"workers", *workers)
 	}
 
 	cfg := experiments.ReducedConfig(*nDatasets)
@@ -89,8 +119,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	if *verbose {
-		cfg.Progress = stderr
+		cfg.Logger = logger
 	}
+
+	_, stopTelemetry, err := common.StartTelemetry(logger)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
 
 	valid := map[string]bool{}
 	for _, e := range experimentNames {
@@ -163,15 +199,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return
 		}
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-			fmt.Fprintf(stderr, "kbench: svgdir: %v\n", err)
+			logger.Warn("svgdir", "error", err)
 			return
 		}
 		path := filepath.Join(*svgDir, name)
 		if err := os.WriteFile(path, data, 0o644); err != nil {
-			fmt.Fprintf(stderr, "kbench: %v\n", err)
+			logger.Warn("svg write failed", "error", err)
 			return
 		}
-		fmt.Fprintf(stderr, "wrote %s\n", path)
+		logger.Info("wrote figure", "path", path)
 	}
 	started := time.Now()
 
@@ -352,7 +388,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := f.Close(); err != nil {
 			return fmt.Errorf("metrics: %w", err)
 		}
-		fmt.Fprintf(stderr, "wrote metrics report to %s\n", *metricsPath)
+		logger.Info("wrote metrics report", "path", *metricsPath)
 	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -368,6 +404,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("memprofile: %w", err)
 		}
 	}
-	fmt.Fprintf(stderr, "kbench finished in %v\n", time.Since(started).Round(time.Millisecond))
+	logger.Info("kbench finished", "seconds", time.Since(started).Seconds())
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"kshape"
+	"kshape/internal/cli"
 	"kshape/internal/dataset"
 	"kshape/internal/ts"
 )
@@ -38,7 +39,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	measure := fs.String("measure", "SBD", "distance measure: "+strings.Join(kshape.Measures(), ", "))
 	outPath := fs.String("out", "", "write predictions CSV to this file (default stdout)")
 	workers := fs.Int("workers", runtime.NumCPU(), "max concurrent workers (1 = serial; results are identical for any value)")
+	var common cli.Common
+	common.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if common.HandleVersion(stderr, "knn") {
+		return nil
+	}
+	logger, err := common.Logger("knn", stderr)
+	if err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
@@ -77,7 +87,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			correct++
 		}
 	}
-	fmt.Fprintf(stderr, "%s 1-NN: %d/%d correct (accuracy %.4f)\n",
-		*measure, correct, len(test), float64(correct)/float64(len(test)))
+	logger.Info("1-NN classification complete",
+		"measure", *measure, "correct", correct, "queries", len(test),
+		"accuracy", fmt.Sprintf("%.4f", float64(correct)/float64(len(test))))
 	return nil
 }

@@ -39,7 +39,7 @@ func TestRunClassifies(t *testing.T) {
 		if err := run([]string{"-measure", measure, train, test}, &stdout, &stderr); err != nil {
 			t.Fatalf("%s: %v", measure, err)
 		}
-		if !strings.Contains(stderr.String(), "accuracy 1.0000") {
+		if !strings.Contains(stderr.String(), "accuracy=1.0000") {
 			t.Errorf("%s: expected perfect accuracy on separable toy data; stderr: %q",
 				measure, stderr.String())
 		}

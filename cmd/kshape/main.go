@@ -14,6 +14,12 @@
 // With -trace, a per-iteration convergence table (inertia, label churn,
 // empty-cluster reseeds, refinement/assignment wall time, cluster sizes)
 // and a kernel-counter summary are printed to stderr after clustering.
+//
+// With -listen ADDR, the process serves live telemetry while the run
+// executes: /metrics (Prometheus text format: kernel counters, phase
+// latency histograms, gauges), /healthz, /debug/vars, and /debug/pprof.
+// Progress and summaries are structured log records (-log-level,
+// -log-json); -version prints build information.
 package main
 
 import (
@@ -26,10 +32,17 @@ import (
 	"text/tabwriter"
 
 	"kshape"
+	"kshape/internal/cli"
 	"kshape/internal/dataset"
 	"kshape/internal/eval"
 	"kshape/internal/ts"
 )
+
+// telemetryScrapeHook, when non-nil, is called with the telemetry
+// server's base URL after clustering finishes but before the server
+// shuts down. The smoke test uses it to scrape /metrics at a moment
+// when all phase samples have landed, without racing the run.
+var telemetryScrapeHook func(baseURL string)
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -48,7 +61,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	centroidsPath := fs.String("centroids", "", "write centroid series CSV to this file")
 	traceRun := fs.Bool("trace", false, "print a per-iteration convergence table and kernel counters to stderr")
 	workers := fs.Int("workers", runtime.NumCPU(), "max concurrent workers (1 = serial; results are identical for any value)")
+	var common cli.Common
+	common.Register(fs)
+	common.RegisterListen(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if common.HandleVersion(stderr, "kshape") {
+		return nil
+	}
+	logger, err := common.Logger("kshape", stderr)
+	if err != nil {
 		return err
 	}
 	if *k < 1 {
@@ -57,12 +80,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("exactly one input file expected, got %d", fs.NArg())
 	}
+	srv, stopTelemetry, err := common.StartTelemetry(logger)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
 	series, err := dataset.LoadUCRFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	data := ts.Rows(series)
-	res, err := kshape.Cluster(data, *k, kshape.Options{Seed: *seed, Method: *method, CollectTrace: *traceRun, Workers: *workers})
+	res, err := kshape.Cluster(data, *k, kshape.Options{
+		Seed: *seed, Method: *method, CollectTrace: *traceRun, Workers: *workers, Logger: logger,
+	})
 	if err != nil {
 		return err
 	}
@@ -96,14 +126,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		f.Close()
 	}
 
-	fmt.Fprintf(stderr, "%s: %d series, k=%d, %d iterations (converged=%v)\n",
-		*method, len(series), *k, res.Iterations, res.Converged)
+	logger.Info("clustering complete",
+		"method", *method, "series", len(series), "k", *k,
+		"iterations", res.Iterations, "converged", res.Converged)
 	if *traceRun && res.Trace != nil {
 		writeTrace(stderr, res.Trace)
 	}
 	if hasLabels(series) {
 		ri := eval.RandIndex(res.Labels, ts.Labels(series))
-		fmt.Fprintf(stderr, "Rand Index vs file labels: %.4f\n", ri)
+		logger.Info("Rand Index vs file labels", "rand_index", fmt.Sprintf("%.4f", ri))
+	}
+	if srv != nil && telemetryScrapeHook != nil {
+		telemetryScrapeHook(srv.URL())
 	}
 	return nil
 }

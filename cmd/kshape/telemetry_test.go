@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestTelemetrySmoke is the end-to-end check behind `make smoke`: a real
+// clustering run with -listen must serve /metrics with every kernel
+// counter and phase-latency histograms whose sample counts match the
+// run's shape. The scrape happens through telemetryScrapeHook, which
+// fires after clustering completes but before the server shuts down, so
+// the assertion is deterministic.
+func TestTelemetrySmoke(t *testing.T) {
+	path := writeToyFile(t)
+
+	var metrics string
+	var healthz string
+	telemetryScrapeHook = func(baseURL string) {
+		metrics = httpGet(t, baseURL+"/metrics")
+		healthz = httpGet(t, baseURL+"/healthz")
+	}
+	defer func() { telemetryScrapeHook = nil }()
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-k", "2", "-seed", "3", "-listen", "127.0.0.1:0", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if metrics == "" {
+		t.Fatal("scrape hook never fired")
+	}
+	if !strings.Contains(stderr.String(), "telemetry server listening") {
+		t.Errorf("no listening log record; stderr: %q", stderr.String())
+	}
+	if !strings.Contains(healthz, `"status":"ok"`) {
+		t.Errorf("/healthz = %q", healthz)
+	}
+
+	// All nine kernel counters must be exported; the ones a k-Shape run
+	// exercises must be nonzero.
+	counters := map[string]int64{}
+	for _, m := range regexp.MustCompile(`kshape_kernel_ops_total\{kernel="(\w+)"\} (\d+)`).FindAllStringSubmatch(metrics, -1) {
+		v, _ := strconv.ParseInt(m[2], 10, 64)
+		counters[m[1]] = v
+	}
+	all := []string{"fft", "ifft", "sbd", "ed", "dtw",
+		"eigen_iterations", "eigen_decompositions", "shape_extractions", "reseeds"}
+	for _, name := range all {
+		if _, ok := counters[name]; !ok {
+			t.Errorf("/metrics missing kernel counter %q", name)
+		}
+	}
+	for _, name := range []string{"fft", "ifft", "sbd", "shape_extractions"} {
+		if counters[name] == 0 {
+			t.Errorf("kernel counter %q is zero after a k-Shape run", name)
+		}
+	}
+
+	// Phase histograms: at least refine, assign, iteration, and
+	// shape_extract must have samples, and the per-iteration phases must
+	// agree with each other on the sample count.
+	phaseCounts := map[string]int64{}
+	for _, m := range regexp.MustCompile(`kshape_phase_duration_seconds_count\{phase="(\w+)"\} (\d+)`).FindAllStringSubmatch(metrics, -1) {
+		v, _ := strconv.ParseInt(m[2], 10, 64)
+		phaseCounts[m[1]] = v
+	}
+	withSamples := 0
+	for _, c := range phaseCounts {
+		if c > 0 {
+			withSamples++
+		}
+	}
+	if withSamples < 3 {
+		t.Errorf("only %d phase histograms have samples: %v", withSamples, phaseCounts)
+	}
+	iters := phaseCounts["iteration"]
+	if iters < 1 {
+		t.Fatalf("iteration histogram has no samples: %v", phaseCounts)
+	}
+	if phaseCounts["refine"] != iters || phaseCounts["assign"] != iters {
+		t.Errorf("per-iteration phase counts disagree: %v", phaseCounts)
+	}
+	if phaseCounts["shape_extract"] == 0 {
+		t.Errorf("shape_extract histogram empty: %v", phaseCounts)
+	}
+
+	// Gauges and cluster sizes from the finished run.
+	if !strings.Contains(metrics, "kshape_current_iteration") {
+		t.Error("/metrics missing current-iteration gauge")
+	}
+	if !strings.Contains(metrics, `kshape_cluster_size{cluster="0"}`) {
+		t.Error("/metrics missing cluster-size gauge")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return string(body)
+}

@@ -49,6 +49,7 @@ func ShapeExtractionAligned(aligned [][]float64) []float64 {
 	if len(aligned) == 0 {
 		return nil
 	}
+	defer obs.StartPhase(obs.PhaseShapeExtract)()
 	obs.Inc(obs.CounterShapeExtractions)
 	m := len(aligned[0])
 	s := linalg.NewSym(m)

@@ -1,0 +1,91 @@
+// Package cli holds the flag plumbing shared by the four command-line
+// tools (kshape, kbench, knn, datagen): the -version flag, the
+// -log-level/-log-json structured-logging flags, and the -listen
+// telemetry endpoint. Keeping it in one place guarantees every binary
+// exposes the same observability surface with the same semantics.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+
+	"kshape/internal/obs"
+)
+
+// Common carries the flag values shared by every CLI. Register the
+// subset a tool needs, call Parse on the FlagSet, then consult the
+// fields.
+type Common struct {
+	// ShowVersion is set by -version: print build information and exit.
+	ShowVersion bool
+	// LogLevel is the -log-level value (debug, info, warn, error).
+	LogLevel string
+	// LogJSON switches log output from human-readable text to JSON lines.
+	LogJSON bool
+	// Listen is the -listen address (e.g. ":9090"); empty means no
+	// telemetry server. Only present on tools that call RegisterListen.
+	Listen string
+}
+
+// Register installs the flags every tool shares: -version, -log-level,
+// and -log-json.
+func (c *Common) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&c.ShowVersion, "version", false, "print version and build information, then exit")
+	fs.StringVar(&c.LogLevel, "log-level", "info", "structured log level: debug, info, warn, error")
+	fs.BoolVar(&c.LogJSON, "log-json", false, "emit structured logs as JSON lines instead of text")
+}
+
+// RegisterListen additionally installs -listen for the long-running
+// tools (kshape, kbench) that can serve live telemetry.
+func (c *Common) RegisterListen(fs *flag.FlagSet) {
+	fs.StringVar(&c.Listen, "listen", "",
+		"serve telemetry on this address while the run executes: /metrics (Prometheus), /healthz, /debug/vars, /debug/pprof; implies metric collection")
+}
+
+// HandleVersion prints build information to w when -version was given
+// and reports whether the caller should exit.
+func (c *Common) HandleVersion(w io.Writer, tool string) bool {
+	if !c.ShowVersion {
+		return false
+	}
+	fmt.Fprintf(w, "%s %s\n", tool, obs.Version())
+	return true
+}
+
+// Logger builds the tool's structured logger from the -log-level and
+// -log-json flags, pre-bound with the shared schema fields (tool name
+// and a fresh run_id correlating all records of this invocation).
+func (c *Common) Logger(tool string, w io.Writer) (*slog.Logger, error) {
+	base, err := obs.NewLogger(w, c.LogLevel, c.LogJSON)
+	if err != nil {
+		return nil, err
+	}
+	return base.With("tool", tool, "run_id", obs.NewRunID()), nil
+}
+
+// StartTelemetry starts the -listen telemetry server, if requested, and
+// enables metric collection so the scrape surface has data. It returns
+// the server (nil when -listen was not given) and a shutdown function
+// (always non-nil) that restores the collection switch and closes the
+// server.
+func (c *Common) StartTelemetry(logger *slog.Logger) (*obs.TelemetryServer, func(), error) {
+	if c.Listen == "" {
+		return nil, func() {}, nil
+	}
+	srv, err := obs.ServeTelemetry(c.Listen)
+	if err != nil {
+		return nil, nil, fmt.Errorf("listen: %w", err)
+	}
+	prev := obs.SetEnabled(true)
+	if logger != nil {
+		logger.Info("telemetry server listening", "addr", srv.Addr(), "metrics_url", srv.URL()+"/metrics")
+	}
+	return srv, func() {
+		obs.SetEnabled(prev)
+		if err := srv.Close(); err != nil && logger != nil {
+			logger.Warn("telemetry server shutdown", "error", err)
+		}
+	}, nil
+}

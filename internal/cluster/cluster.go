@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"log/slog"
 	"math/rand"
 
 	"kshape/internal/avg"
@@ -42,6 +43,10 @@ type Opts struct {
 	// semantics: <= 0 means runtime.NumCPU(), 1 means serial). Results
 	// are identical for every value.
 	Workers int
+	// Logger, if non-nil, receives structured per-iteration records at
+	// debug level (core.Config.Logger semantics). Non-iterative methods
+	// ignore it.
+	Logger *slog.Logger
 }
 
 // Iterative is implemented by clusterers whose refinement loop accepts
@@ -92,6 +97,7 @@ func (v kmeansVariant) ClusterOpts(data [][]float64, k int, rng *rand.Rand, opt 
 		Rand:          rng,
 		OnIteration:   opt.OnIteration,
 		Workers:       opt.Workers,
+		Logger:        opt.Logger,
 	})
 }
 
@@ -176,6 +182,7 @@ func (kshapeClusterer) ClusterOpts(data [][]float64, k int, rng *rand.Rand, opt 
 		MaxIterations: opt.MaxIterations,
 		OnIteration:   opt.OnIteration,
 		Workers:       opt.Workers,
+		Logger:        opt.Logger,
 	})
 }
 

@@ -9,8 +9,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"time"
@@ -62,6 +64,11 @@ type Config struct {
 	// Distance and Centroid must therefore be safe for concurrent calls
 	// (every implementation in this repository is).
 	Workers int
+	// Logger, if non-nil, receives structured per-iteration records at
+	// debug level (iteration number, inertia, label churn, reseeds, phase
+	// wall times). Iteration bookkeeping is only performed when the logger
+	// is enabled for debug or OnIteration is set.
+	Logger *slog.Logger
 }
 
 // Result reports a clustering.
@@ -146,6 +153,7 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 
 	res := &Result{Labels: labels, Centroids: centroids}
 	prev := make([]int, n)
+	observe := newIterationObserver(cfg.OnIteration, cfg.Logger)
 	for iter := 0; iter < maxIter; iter++ {
 		copy(prev, labels)
 
@@ -178,16 +186,15 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 			labels[i] = bestJ
 			assignDist[i] = best
 		})
+		assignNS := time.Since(assignStart).Nanoseconds()
 
 		// Re-seed emptied clusters with the worst-fitting series.
 		reseeds := reseedEmptyClusters(data, labels, assignDist, k)
+		observeIterationTelemetry(iter, refineNS, assignNS, refineStart)
 
 		res.Iterations = iter + 1
 		converged := equalLabels(labels, prev)
-		if cfg.OnIteration != nil {
-			cfg.OnIteration(iterationStats(iter, labels, prev, assignDist, k,
-				refineNS, time.Since(assignStart).Nanoseconds(), reseeds))
-		}
+		observe(iter, labels, prev, assignDist, k, refineNS, assignNS, reseeds)
 		if converged {
 			res.Converged = true
 			break
@@ -197,7 +204,54 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 	for _, d := range assignDist {
 		res.Inertia += d * d
 	}
+	publishClusterSizes(labels, k)
 	return res, nil
+}
+
+// observeIterationTelemetry records one iteration's phase latencies into
+// the global histograms and advances the current-iteration gauge. All
+// sinks are Enabled-gated, so the disabled path costs a few atomic loads.
+func observeIterationTelemetry(iter int, refineNS, assignNS int64, iterStart time.Time) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.ObservePhase(obs.PhaseRefine, refineNS)
+	obs.ObservePhase(obs.PhaseAssign, assignNS)
+	obs.ObservePhase(obs.PhaseIteration, time.Since(iterStart).Nanoseconds())
+	obs.SetGauge(obs.GaugeCurrentIteration, int64(iter+1))
+}
+
+// publishClusterSizes exposes the final cluster occupancy on the
+// last-run-cluster-sizes gauge vector when collection is enabled.
+func publishClusterSizes(labels []int, k int) {
+	if !obs.Enabled() {
+		return
+	}
+	sizes := make([]int, k)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	obs.SetClusterSizes(sizes)
+}
+
+// newIterationObserver fuses the OnIteration callback and debug-level
+// structured logging into one per-iteration hook. The returned function
+// computes iteration statistics only when at least one sink wants them,
+// preserving the "no bookkeeping unless observed" property of the engine.
+func newIterationObserver(onIter func(obs.IterationStats), logger *slog.Logger) func(iter int, labels, prev []int, assignDist []float64, k int, refineNS, assignNS int64, reseeds int) {
+	logDebug := logger != nil && logger.Enabled(context.Background(), slog.LevelDebug)
+	if onIter == nil && !logDebug {
+		return func(int, []int, []int, []float64, int, int64, int64, int) {}
+	}
+	return func(iter int, labels, prev []int, assignDist []float64, k int, refineNS, assignNS int64, reseeds int) {
+		st := iterationStats(iter, labels, prev, assignDist, k, refineNS, assignNS, reseeds)
+		if onIter != nil {
+			onIter(st)
+		}
+		if logDebug {
+			logger.Debug("refinement iteration", "stats", st)
+		}
+	}
 }
 
 // reseedEmptyClusters moves, for every empty cluster, the series with the
@@ -303,6 +357,9 @@ type KShapeOpts struct {
 	// <= 0 means runtime.NumCPU(), 1 means serial). Results and kernel
 	// counter totals are bit-for-bit identical for every value.
 	Workers int
+	// Logger, if non-nil, receives structured per-iteration records at
+	// debug level (Config.Logger semantics).
+	Logger *slog.Logger
 }
 
 // KShapeRun is the optimized k-Shape loop of KShape with explicit engine
@@ -355,6 +412,7 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 	queries := make([]*dist.SBDQuery, k)
 	res := &Result{Labels: labels, Centroids: centroids}
 	prev := make([]int, n)
+	observe := newIterationObserver(opt.OnIteration, opt.Logger)
 	for iter := 0; iter < maxIter; iter++ {
 		copy(prev, labels)
 
@@ -412,13 +470,12 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 			}
 		})
 
+		assignNS := time.Since(assignStart).Nanoseconds()
 		reseeds := reseedEmptyClusters(data, labels, assignDist, k)
+		observeIterationTelemetry(iter, refineNS, assignNS, refineStart)
 		res.Iterations = iter + 1
 		converged := equalLabels(labels, prev)
-		if opt.OnIteration != nil {
-			opt.OnIteration(iterationStats(iter, labels, prev, assignDist, k,
-				refineNS, time.Since(assignStart).Nanoseconds(), reseeds))
-		}
+		observe(iter, labels, prev, assignDist, k, refineNS, assignNS, reseeds)
 		if converged {
 			res.Converged = true
 			break
@@ -427,6 +484,7 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 	for _, d := range assignDist {
 		res.Inertia += d * d
 	}
+	publishClusterSizes(labels, k)
 	return res, nil
 }
 

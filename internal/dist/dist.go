@@ -8,6 +8,7 @@
 package dist
 
 import (
+	"kshape/internal/obs"
 	"kshape/internal/par"
 )
 
@@ -47,6 +48,7 @@ func PairwiseMatrix(d Measure, data [][]float64) [][]float64 {
 // serial). The result is identical for every worker count: each upper-
 // triangle entry is computed exactly once and mirrored afterwards.
 func PairwiseMatrixWorkers(d Measure, data [][]float64, workers int) [][]float64 {
+	defer obs.StartPhase(obs.PhasePairwiseMatrix)()
 	n := len(data)
 	out := make([][]float64, n)
 	backing := make([]float64, n*n)

@@ -106,7 +106,7 @@ func Ablations(cfg Config) AblationResult {
 		})
 		row.Runtime = time.Since(start)
 		rows[vi] = row
-		cfg.progressf("ablation: %s done (avg RI %.3f)", v.name, Mean(row.RandIndexes))
+		cfg.progress("ablation done", "variant", v.name, "avg_rand_index", Mean(row.RandIndexes))
 	}
 	for i := range rows {
 		finishRow(&rows[i], rows[0])

@@ -169,7 +169,7 @@ func runClusterer(cfg Config, c cluster.Clusterer, runs int) ClusterRow {
 		cfg.parallelOver(len(datasets), evalDataset)
 	}
 	row.Runtime = time.Since(start)
-	cfg.progressf("clustering: %s done in %v (avg RI %.3f)", c.Name(), row.Runtime, Mean(row.RandIndexes))
+	cfg.progress("clustering sweep done", "method", c.Name(), "seconds", row.Runtime.Seconds(), "avg_rand_index", Mean(row.RandIndexes))
 	return row
 }
 
@@ -337,7 +337,7 @@ func runMatrixClusterer(cfg Config, job matrixJob) ClusterRow {
 		}
 	}
 	row.Runtime = time.Since(start)
-	cfg.progressf("clustering: %s done in %v (avg RI %.3f)", job.name, row.Runtime, Mean(row.RandIndexes))
+	cfg.progress("clustering sweep done", "method", job.name, "seconds", row.Runtime.Seconds(), "avg_rand_index", Mean(row.RandIndexes))
 	return row
 }
 

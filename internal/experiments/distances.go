@@ -61,7 +61,7 @@ func Table2(cfg Config) Table2Result {
 		w, _ := eval.TuneCDTWWindow(ds.Train, cfg.MaxWindowFrac)
 		windows[i] = w
 		fracSum += float64(w) / float64(ds.M)
-		cfg.progressf("table2: tuned cDTWopt window for %s: %d cells", ds.Name, w)
+		cfg.progress("table2 cDTWopt window tuned", "dataset", ds.Name, "window_cells", w)
 	}
 
 	cdtwWindow := func(frac float64, i int) int {
@@ -132,7 +132,7 @@ func Table2(cfg Config) Table2Result {
 			Accuracies: accs,
 			Runtime:    time.Since(start),
 		}
-		cfg.progressf("table2: %s done in %v (avg acc %.3f)", ev.name, rows[r].Runtime, Mean(accs))
+		cfg.progress("table2 measure done", "measure", ev.name, "seconds", rows[r].Runtime.Seconds(), "avg_accuracy", Mean(accs))
 	}
 
 	edRow := rows[0]
@@ -311,7 +311,7 @@ func AppendixA(cfg Config, norm Normalization) AppendixAResult {
 			}
 			res.Accuracies[v][d] = eval.OneNNAccuracy(m, train, test)
 		}
-		cfg.progressf("appendixA(%s): %s done", norm, ds.Name)
+		cfg.progress("appendixA dataset done", "normalization", norm, "dataset", ds.Name)
 	}
 	for d := range cfg.Datasets {
 		if res.Accuracies[0][d] > res.Accuracies[1][d] {

@@ -9,7 +9,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
+	"strings"
 
 	"kshape/internal/dataset"
 	"kshape/internal/obs"
@@ -32,7 +34,12 @@ type Config struct {
 	// (the paper scans up to 20% windows; we default to 0.10 which covers
 	// the 4.5% average optimum the paper reports).
 	MaxWindowFrac float64
-	// Progress, if non-nil, receives one line per completed unit of work.
+	// Logger, if non-nil, receives one structured record per completed
+	// unit of work (method, dataset, wall time, score fields) at info
+	// level. cmd/kbench wires its -log-level/-log-json flags here.
+	Logger *slog.Logger
+	// Progress, if non-nil, receives one plain-text line per completed
+	// unit of work — the legacy sink, kept for callers without a Logger.
 	Progress io.Writer
 	// Metrics, if non-nil, receives one RunRecord per (method, dataset)
 	// unit of work — wall time, score, kernel-counter deltas, and (for
@@ -81,9 +88,21 @@ func ReducedConfig(nDatasets int) Config {
 	}
 }
 
-func (c Config) progressf(format string, args ...any) {
+// progress reports one completed unit of work. attrs are alternating
+// key/value pairs (slog convention): the Logger receives them as
+// structured fields, and the legacy Progress writer gets a rendered
+// "msg key=value ..." line.
+func (c Config) progress(msg string, attrs ...any) {
+	if c.Logger != nil {
+		c.Logger.Info(msg, attrs...)
+	}
 	if c.Progress != nil {
-		fmt.Fprintf(c.Progress, format+"\n", args...)
+		var sb strings.Builder
+		sb.WriteString(msg)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			fmt.Fprintf(&sb, " %v=%v", attrs[i], attrs[i+1])
+		}
+		fmt.Fprintln(c.Progress, sb.String())
 	}
 }
 

@@ -166,11 +166,11 @@ func Fig12Sizes(cfg Config, nSweep []int, fixedM int, mSweep []int, fixedN int) 
 	var res Fig12Result
 	for _, n := range nSweep {
 		res.VaryN = append(res.VaryN, fig12Point(cfg, n, fixedM))
-		cfg.progressf("fig12: n=%d m=%d done", n, fixedM)
+		cfg.progress("fig12 point done", "n", n, "m", fixedM)
 	}
 	for _, m := range mSweep {
 		res.VaryM = append(res.VaryM, fig12Point(cfg, fixedN, m))
-		cfg.progressf("fig12: n=%d m=%d done", fixedN, m)
+		cfg.progress("fig12 point done", "n", fixedN, "m", m)
 	}
 	return res
 }

@@ -78,8 +78,8 @@ func KEstimation(cfg Config) KEstimationResult {
 			}
 		}
 		res.Rows[di] = row
-		cfg.progressf("kestimation: %s done (true %d, sil %d, db %d, ch %d)",
-			ds.Name, ds.K, row.SilhouetteK, row.DBK, row.CHK)
+		cfg.progress("kestimation dataset done",
+			"dataset", ds.Name, "true_k", ds.K, "silhouette_k", row.SilhouetteK, "db_k", row.DBK, "ch_k", row.CHK)
 	})
 	for _, row := range res.Rows {
 		tally := func(est int, exact, within *int) {

@@ -24,7 +24,7 @@ func Table2Extended(cfg Config) Table2Result {
 			accs[i] = eval.OneNNAccuracy(m, ds.Train, ds.Test)
 		}
 		rows[r] = DistanceRow{Name: m.Name(), Accuracies: accs, Runtime: time.Since(start)}
-		cfg.progressf("table2x: %s done in %v (avg acc %.3f)", m.Name(), rows[r].Runtime, Mean(accs))
+		cfg.progress("table2x measure done", "measure", m.Name(), "seconds", rows[r].Runtime.Seconds(), "avg_accuracy", Mean(accs))
 	}
 	ed := rows[0]
 	for r := range rows {

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// This file is the export half of the instrumentation layer: it renders
+// the kernel counters, gauges, and phase histograms in the Prometheus
+// text exposition format, bridges them into expvar, and serves both —
+// plus health and runtime/pprof endpoints — over HTTP so long-running
+// clustering processes can be scraped and profiled mid-flight.
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): the nine kernel counters as one counter family
+// labeled by kernel, the gauges, the per-cluster occupancy of the last
+// run, and one histogram family labeled by phase with cumulative buckets
+// in seconds.
+func WritePrometheus(w io.Writer) {
+	c := ReadCounters()
+	fmt.Fprintln(w, "# HELP kshape_kernel_ops_total Kernel operation counts (FFT transforms, distance evaluations, eigensolver iterations, reseeds).")
+	fmt.Fprintln(w, "# TYPE kshape_kernel_ops_total counter")
+	c.Each(func(name string, v int64) {
+		fmt.Fprintf(w, "kshape_kernel_ops_total{kernel=%q} %d\n", name, v)
+	})
+
+	fmt.Fprintln(w, "# HELP kshape_telemetry_enabled Whether kernel counting and histogram collection are on.")
+	fmt.Fprintln(w, "# TYPE kshape_telemetry_enabled gauge")
+	fmt.Fprintf(w, "kshape_telemetry_enabled %d\n", boolToInt(Enabled()))
+
+	for g := Gauge(0); g < numGauges; g++ {
+		name := "kshape_" + g.String()
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, ReadGauge(g))
+	}
+
+	if sizes := LastClusterSizes(); len(sizes) > 0 {
+		fmt.Fprintln(w, "# HELP kshape_cluster_size Cluster occupancy of the most recently finished run.")
+		fmt.Fprintln(w, "# TYPE kshape_cluster_size gauge")
+		for j, s := range sizes {
+			fmt.Fprintf(w, "kshape_cluster_size{cluster=\"%d\"} %d\n", j, s)
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP kshape_phase_duration_seconds Latency of the instrumented hot phases.")
+	fmt.Fprintln(w, "# TYPE kshape_phase_duration_seconds histogram")
+	for _, h := range PhaseHistograms() {
+		cum := int64(0)
+		for i, n := range h.Buckets {
+			cum += n
+			le := "+Inf"
+			if b := BucketBound(i); b >= 0 {
+				le = strconv.FormatFloat(float64(b)/1e9, 'g', -1, 64)
+			}
+			fmt.Fprintf(w, "kshape_phase_duration_seconds_bucket{phase=%q,le=%q} %d\n", h.Name, le, cum)
+		}
+		fmt.Fprintf(w, "kshape_phase_duration_seconds_sum{phase=%q} %g\n", h.Name, float64(h.SumNS)/1e9)
+		fmt.Fprintf(w, "kshape_phase_duration_seconds_count{phase=%q} %d\n", h.Name, h.Count)
+	}
+
+	fmt.Fprintln(w, "# HELP kshape_build_info Build metadata; the value is always 1.")
+	fmt.Fprintln(w, "# TYPE kshape_build_info gauge")
+	info := BuildInfo()
+	fmt.Fprintf(w, "kshape_build_info{version=%q,revision=%q,go=%q} 1\n",
+		info["version"], info["revision"], info["go"])
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// MetricsHandler serves WritePrometheus output.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w)
+	})
+}
+
+// publishExpvar registers the kernel counters, gauges, and phase-quantile
+// summaries as expvar variables (served on /debug/vars). expvar panics on
+// duplicate names, so registration happens once per process.
+var publishExpvar = sync.OnceFunc(func() {
+	expvar.Publish("kshape.counters", expvar.Func(func() any { return ReadCounters() }))
+	expvar.Publish("kshape.gauges", expvar.Func(func() any {
+		g := Gauges()
+		if sizes := LastClusterSizes(); sizes != nil {
+			return map[string]any{"scalars": g, "cluster_sizes": sizes}
+		}
+		return map[string]any{"scalars": g}
+	}))
+	expvar.Publish("kshape.phases", expvar.Func(func() any {
+		type phaseSummary struct {
+			Count int64   `json:"count"`
+			SumNS int64   `json:"sum_ns"`
+			P50NS float64 `json:"p50_ns"`
+			P95NS float64 `json:"p95_ns"`
+			P99NS float64 `json:"p99_ns"`
+		}
+		out := map[string]phaseSummary{}
+		for _, h := range PhaseHistograms() {
+			out[h.Name] = phaseSummary{
+				Count: h.Count, SumNS: h.SumNS,
+				P50NS: h.P50(), P95NS: h.P95(), P99NS: h.P99(),
+			}
+		}
+		return out
+	}))
+})
+
+// NewTelemetryMux builds the HTTP surface served by -listen: Prometheus
+// metrics on /metrics, a liveness probe on /healthz, expvar JSON on
+// /debug/vars, and the runtime profiler under /debug/pprof/.
+func NewTelemetryMux() *http.ServeMux {
+	publishExpvar()
+	started := time.Now()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.3f,\"telemetry_enabled\":%v,\"version\":%q}\n",
+			time.Since(started).Seconds(), Enabled(), Version())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// TelemetryServer is a running telemetry HTTP server.
+type TelemetryServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeTelemetry binds addr (host:port; port 0 picks a free one) and
+// serves the telemetry mux on it until Close. It does not flip the
+// collection switch — callers decide whether serving implies measuring
+// (the CLIs enable collection for the duration of a -listen run).
+func ServeTelemetry(addr string) (*TelemetryServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry listener: %w", err)
+	}
+	srv := &http.Server{Handler: NewTelemetryMux()}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return &TelemetryServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (with the real port when :0 was asked).
+func (t *TelemetryServer) Addr() string { return t.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (t *TelemetryServer) URL() string { return "http://" + t.Addr() }
+
+// Close stops the server and releases the listener.
+func (t *TelemetryServer) Close() error { return t.srv.Close() }

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// resetTelemetry restores a clean metric state for export tests, which
+// assert on absolute values.
+func resetTelemetry(t *testing.T) {
+	t.Helper()
+	prev := SetEnabled(false)
+	ResetCounters()
+	ResetHistograms()
+	ResetGauges()
+	t.Cleanup(func() {
+		SetEnabled(prev)
+		ResetCounters()
+		ResetHistograms()
+		ResetGauges()
+	})
+}
+
+func TestWritePrometheusRendersAllCounters(t *testing.T) {
+	resetTelemetry(t)
+	SetEnabled(true)
+	Inc(CounterFFT)
+	Add(CounterSBD, 41)
+	Inc(CounterSBD)
+
+	var sb strings.Builder
+	WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, kernel := range []string{
+		"fft", "ifft", "sbd", "ed", "dtw",
+		"eigen_iterations", "eigen_decompositions", "shape_extractions", "reseeds",
+	} {
+		if !strings.Contains(out, `kshape_kernel_ops_total{kernel="`+kernel+`"}`) {
+			t.Errorf("missing counter sample for kernel %q", kernel)
+		}
+	}
+	if !strings.Contains(out, `kshape_kernel_ops_total{kernel="fft"} 1`) {
+		t.Error("fft counter value not rendered")
+	}
+	if !strings.Contains(out, `kshape_kernel_ops_total{kernel="sbd"} 42`) {
+		t.Error("sbd counter value not rendered")
+	}
+	if !strings.Contains(out, "kshape_telemetry_enabled 1") {
+		t.Error("enabled gauge not rendered")
+	}
+	if !strings.Contains(out, "kshape_build_info{") {
+		t.Error("build info not rendered")
+	}
+}
+
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	resetTelemetry(t)
+	SetEnabled(true)
+	ObservePhase(PhaseAssign, int64(2*time.Millisecond))
+	ObservePhase(PhaseAssign, int64(40*time.Millisecond))
+
+	var sb strings.Builder
+	WritePrometheus(&sb)
+	out := sb.String()
+
+	if !strings.Contains(out, `kshape_phase_duration_seconds_count{phase="assign"} 2`) {
+		t.Errorf("assign count sample missing:\n%s", out)
+	}
+	if !strings.Contains(out, `le="+Inf"} 2`) {
+		t.Error("+Inf bucket must equal the total count")
+	}
+	// Cumulative buckets must be non-decreasing in le for each phase.
+	var prevCum int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, `kshape_phase_duration_seconds_bucket{phase="assign"`) {
+			continue
+		}
+		fields := strings.Fields(line)
+		cum, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if cum < prevCum {
+			t.Fatalf("cumulative bucket decreased: %q", line)
+		}
+		prevCum = cum
+	}
+	if prevCum != 2 {
+		t.Errorf("last cumulative bucket = %d, want 2", prevCum)
+	}
+	// The sum is in seconds.
+	if !strings.Contains(out, `kshape_phase_duration_seconds_sum{phase="assign"} 0.042`) {
+		t.Errorf("sum not rendered in seconds:\n%s", out)
+	}
+}
+
+func TestTelemetryServerEndpoints(t *testing.T) {
+	resetTelemetry(t)
+	SetEnabled(true)
+	Inc(CounterFFT)
+	SetGauge(GaugeCurrentIteration, 7)
+	SetClusterSizes([]int{10, 20})
+
+	srv, err := ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		`kshape_kernel_ops_total{kernel="fft"} 1`,
+		"kshape_current_iteration 7",
+		`kshape_cluster_size{cluster="1"} 20`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", code)
+	}
+	var health struct {
+		Status           string  `json:"status"`
+		UptimeSeconds    float64 `json:"uptime_seconds"`
+		TelemetryEnabled bool    `json:"telemetry_enabled"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz not JSON: %v (%q)", err, body)
+	}
+	if health.Status != "ok" || !health.TelemetryEnabled {
+		t.Errorf("/healthz = %+v", health)
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	for _, key := range []string{"kshape.counters", "kshape.gauges", "kshape.phases"} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("/debug/vars missing %q", key)
+		}
+	}
+
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+}
+
+func TestGaugeLifecycle(t *testing.T) {
+	resetTelemetry(t)
+	SetEnabled(true)
+	SetGauge(GaugeActiveWorkers, 3)
+	AddGauge(GaugeActiveWorkers, 2)
+	AddGauge(GaugeActiveWorkers, -5)
+	if v := ReadGauge(GaugeActiveWorkers); v != 0 {
+		t.Errorf("active workers = %d, want 0 after balanced add/subtract", v)
+	}
+	SetEnabled(false)
+	SetGauge(GaugeCurrentIteration, 9)
+	if v := ReadGauge(GaugeCurrentIteration); v != 0 {
+		t.Errorf("SetGauge wrote %d while disabled", v)
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	info := BuildInfo()
+	for _, key := range []string{"version", "revision", "go"} {
+		if info[key] == "" {
+			t.Errorf("BuildInfo missing %q", key)
+		}
+	}
+	if Version() == "" {
+		t.Error("empty Version()")
+	}
+}

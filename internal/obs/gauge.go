@@ -1,0 +1,108 @@
+package obs
+
+import "sync"
+
+// Gauge identifies one instantaneous-value metric.
+type Gauge int
+
+// The gauges. Unlike counters they move in both directions and describe
+// the current state of a run rather than accumulated work.
+const (
+	// GaugeActiveWorkers is the number of goroutines currently executing
+	// inside the parallel substrate (internal/par).
+	GaugeActiveWorkers Gauge = iota
+	// GaugeCurrentIteration is the refinement iteration the most recent
+	// iterative clustering run is on (1-based; sticks at the final value
+	// after the run ends).
+	GaugeCurrentIteration
+
+	numGauges
+)
+
+var gaugeNames = [numGauges]string{
+	"active_workers",
+	"current_iteration",
+}
+
+// String returns the snake_case gauge name used in exports.
+func (g Gauge) String() string {
+	if g < 0 || g >= numGauges {
+		return "unknown"
+	}
+	return gaugeNames[g]
+}
+
+var gauges [numGauges]paddedInt64
+
+// SetGauge sets g to v when collection is enabled.
+func SetGauge(g Gauge, v int64) {
+	if enabled.Load() {
+		gauges[g].v.Store(v)
+	}
+}
+
+// AddGauge adds delta (which may be negative) to g. Unlike SetGauge it is
+// not gated on Enabled: callers check Enabled once and then issue the
+// add/subtract pair unconditionally, so the pair stays balanced even when
+// collection is toggled between the two calls.
+func AddGauge(g Gauge, delta int64) {
+	gauges[g].v.Add(delta)
+}
+
+// ReadGauge returns the current value of g.
+func ReadGauge(g Gauge) int64 { return gauges[g].v.Load() }
+
+// ResetGauges zeroes every gauge and clears the last-run cluster sizes.
+func ResetGauges() {
+	for i := range gauges {
+		gauges[i].v.Store(0)
+	}
+	clusterSizes.Lock()
+	clusterSizes.sizes = nil
+	clusterSizes.Unlock()
+}
+
+// clusterSizes holds the per-cluster occupancy of the most recently
+// finished clustering run — a small labeled gauge vector, so it lives
+// behind a mutex rather than per-slot atomics.
+var clusterSizes struct {
+	sync.Mutex
+	sizes []int64
+}
+
+// SetClusterSizes publishes the cluster occupancy of the run that just
+// finished, when collection is enabled.
+func SetClusterSizes(sizes []int) {
+	if !enabled.Load() {
+		return
+	}
+	out := make([]int64, len(sizes))
+	for i, s := range sizes {
+		out[i] = int64(s)
+	}
+	clusterSizes.Lock()
+	clusterSizes.sizes = out
+	clusterSizes.Unlock()
+}
+
+// LastClusterSizes returns the most recently published cluster occupancy
+// (nil if no run has published one).
+func LastClusterSizes() []int64 {
+	clusterSizes.Lock()
+	defer clusterSizes.Unlock()
+	if clusterSizes.sizes == nil {
+		return nil
+	}
+	out := make([]int64, len(clusterSizes.sizes))
+	copy(out, clusterSizes.sizes)
+	return out
+}
+
+// Gauges returns every scalar gauge by name.
+func Gauges() map[string]int64 {
+	out := make(map[string]int64, numGauges)
+	for g := Gauge(0); g < numGauges; g++ {
+		out[g.String()] = ReadGauge(g)
+	}
+	return out
+}

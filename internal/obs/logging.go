@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// This file holds the structured-logging half of the export layer: every
+// CLI builds a slog.Logger here (text or JSON, -log-level/-log-json) and
+// threads it through the experiment harness and the clustering engines,
+// replacing the ad-hoc fmt progress lines. The shared field schema:
+//
+//	tool    — the binary emitting the record (kshape, kbench, knn, datagen)
+//	run_id  — random per-invocation ID correlating all records of one run
+//	method / dataset / iteration — clustering context, where applicable
+//	counters.* — kernel-counter deltas (Counters implements slog.LogValuer)
+
+// ParseLevel maps a -log-level flag value (debug, info, warn, error;
+// case-insensitive) to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// NewLogger builds a slog.Logger writing to w at the named level, as
+// human-readable text or JSON lines.
+func NewLogger(w io.Writer, level string, json bool) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(w, opts)), nil
+}
+
+// NewRunID returns a short random hex identifier correlating every log
+// record, metric scrape, and report of one CLI invocation.
+func NewRunID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// LogValue renders one refinement iteration as a slog group, keeping the
+// field names aligned with the JSON report schema.
+func (s IterationStats) LogValue() slog.Value {
+	return slog.GroupValue(
+		slog.Int("iteration", s.Iteration),
+		slog.Float64("inertia", s.Inertia),
+		slog.Int("label_churn", s.LabelChurn),
+		slog.Int("reseeds", s.Reseeds),
+		slog.Int64("refine_ns", s.RefineNS),
+		slog.Int64("assign_ns", s.AssignNS),
+	)
+}
+
+// LogValue renders a counter snapshot (or delta) as a slog group, so
+// `logger.Info("done", "counters", delta)` emits counters.fft=…,
+// counters.sbd=…, keeping the field schema identical in text and JSON.
+func (c Counters) LogValue() slog.Value {
+	attrs := make([]slog.Attr, 0, numCounters)
+	c.Each(func(name string, v int64) {
+		attrs = append(attrs, slog.Int64(name, v))
+	})
+	return slog.GroupValue(attrs...)
+}

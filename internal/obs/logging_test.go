@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+		" WARN ": slog.LevelWarn,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestNewLoggerJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "info", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("hidden")
+	logger.Info("refinement iteration", "stats", IterationStats{
+		Iteration: 3, Inertia: 1.5, LabelChurn: 2, Reseeds: 1,
+		RefineNS: 100, AssignNS: 50,
+	})
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not one JSON line: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "refinement iteration" {
+		t.Errorf("msg = %v", rec["msg"])
+	}
+	stats, ok := rec["stats"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats not a group: %v", rec["stats"])
+	}
+	for _, key := range []string{"iteration", "inertia", "label_churn", "reseeds", "refine_ns", "assign_ns"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("stats missing %q", key)
+		}
+	}
+}
+
+func TestCountersLogValueListsAllKernels(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "info", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("done", "counters", Counters{FFT: 5, SBD: 2})
+	out := buf.String()
+	for _, want := range []string{"counters.fft=5", "counters.sbd=2", "counters.reseeds=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log line missing %q: %q", want, out)
+		}
+	}
+}
+
+func TestNewRunIDDistinct(t *testing.T) {
+	a, b := NewRunID(), NewRunID()
+	if len(a) != 8 || len(b) != 8 {
+		t.Errorf("run IDs %q, %q: want 8 hex chars", a, b)
+	}
+	if a == b {
+		t.Errorf("consecutive run IDs collided: %q", a)
+	}
+}

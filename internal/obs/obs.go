@@ -161,6 +161,21 @@ func (c Counters) Sub(prev Counters) Counters {
 	}
 }
 
+// Each calls fn once per counter in declaration order, with the counter's
+// snake_case name — the iteration primitive behind the Prometheus, expvar,
+// slog, and bench-JSON exports.
+func (c Counters) Each(fn func(name string, value int64)) {
+	fn("fft", c.FFT)
+	fn("ifft", c.IFFT)
+	fn("sbd", c.SBD)
+	fn("ed", c.ED)
+	fn("dtw", c.DTW)
+	fn("eigen_iterations", c.EigenIterations)
+	fn("eigen_decompositions", c.EigenDecompositions)
+	fn("shape_extractions", c.ShapeExtractions)
+	fn("reseeds", c.Reseeds)
+}
+
 // Total returns the sum of every counter — a quick "did anything get
 // measured" check.
 func (c Counters) Total() int64 {

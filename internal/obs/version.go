@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo returns build metadata from runtime/debug.ReadBuildInfo:
+// module version, VCS revision/time/dirty state when stamped, and the Go
+// toolchain. Missing fields are reported as "unknown" so exports and
+// bench reports always carry stable keys.
+func BuildInfo() map[string]string {
+	out := map[string]string{
+		"version":  "unknown",
+		"revision": "unknown",
+		"time":     "unknown",
+		"modified": "unknown",
+		"go":       runtime.Version(),
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.Main.Version != "" {
+		out["version"] = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev := s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			out["revision"] = rev
+		case "vcs.time":
+			out["time"] = s.Value
+		case "vcs.modified":
+			out["modified"] = s.Value
+		}
+	}
+	return out
+}
+
+// Version renders the one-line build identifier the CLIs print for
+// -version and the telemetry surface embeds, so scraped metrics and bench
+// JSON can be correlated with a build.
+func Version() string {
+	info := BuildInfo()
+	return fmt.Sprintf("%s (revision %s, %s)", info["version"], info["revision"], info["go"])
+}

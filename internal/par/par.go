@@ -31,6 +31,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"kshape/internal/obs"
 )
 
 // chunksPerWorker oversamples the chunk count relative to the worker count
@@ -82,6 +84,13 @@ func ForChunks(workers, n int, fn func(lo, hi int)) {
 	chunks := w * chunksPerWorker
 	if chunks > n {
 		chunks = n
+	}
+	// Publish the pool size on the active-workers gauge while the pool
+	// runs. Capture Enabled once so the add/subtract pair stays balanced
+	// even if collection is toggled mid-loop.
+	if obs.Enabled() {
+		obs.AddGauge(obs.GaugeActiveWorkers, int64(w))
+		defer obs.AddGauge(obs.GaugeActiveWorkers, int64(-w))
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup

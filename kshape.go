@@ -19,6 +19,7 @@ package kshape
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"time"
@@ -101,6 +102,10 @@ type Options struct {
 	// centroids, iteration traces, and kernel counters are bit-for-bit
 	// identical for every Workers value under a fixed Seed.
 	Workers int
+	// Logger, if non-nil, receives structured log records from the run:
+	// per-iteration statistics at debug level for iterative methods.
+	// Methods without a refinement loop emit nothing.
+	Logger *slog.Logger
 }
 
 // Cluster partitions equal-length time series into k clusters with k-Shape
@@ -163,6 +168,7 @@ func Cluster(data [][]float64, k int, opts Options) (*Result, error) {
 		MaxIterations: opts.MaxIterations,
 		OnIteration:   onIter,
 		Workers:       opts.Workers,
+		Logger:        opts.Logger,
 	})
 	if opts.CollectTrace {
 		trace.TotalNS = time.Since(started).Nanoseconds()
