@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test test-short test-race vet fmt-check check bench smoke
+.PHONY: build test test-short test-race vet lint fmt-check check bench smoke
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,18 @@ test-race:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/par/ ./internal/obs/ ./internal/core/ ./internal/dist/ ./internal/eval/ ./internal/cluster/ .
 
+# Two passes: the full default vet suite, then an explicit -copylocks
+# -atomic pass so the two analyses the concurrency layer leans on hardest
+# stay enabled even if the default set ever changes.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -copylocks -atomic ./...
+
+# Repo-specific static analysis (cmd/kshapelint): floatcmp, detrand,
+# goroutine, maporder, errdrop. Exits nonzero on any unsuppressed
+# diagnostic; suppress deliberate cases with //lint:ignore <check> <reason>.
+lint:
+	$(GO) run ./cmd/kshapelint ./...
 
 # Fails (and lists the offenders) when any file is not gofmt-clean.
 fmt-check:
@@ -34,10 +44,11 @@ fmt-check:
 smoke:
 	$(GO) test -run TestTelemetrySmoke -count=1 ./cmd/kshape/
 
-# Pre-commit gate: formatting, static analysis, the full test suite, the
+# Pre-commit gate, cheapest first so failures surface early: formatting,
+# go vet, the repo's own analyzers (kshapelint), the full test suite, the
 # race-detector pass over the parallel packages, and the telemetry smoke
 # test, in that order.
-check: fmt-check vet test test-race smoke
+check: fmt-check vet lint test test-race smoke
 
 # Runs every benchmark once (including the serial-vs-parallel family with
 # its speedup and kernel-counter metrics) and regenerates the committed

@@ -40,7 +40,6 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
-	"time"
 
 	"kshape/internal/cli"
 	"kshape/internal/experiments"
@@ -171,15 +170,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		countersBefore = obs.ReadCounters()
 		trace = obs.NewTrace("kbench")
 	}
-	// phase wraps one experiment's computation in a trace span.
-	phase := func(name string, fn func()) {
+	// phase wraps one experiment's computation in a trace span and
+	// propagates the write error of any report the body renders.
+	phase := func(name string, fn func() error) error {
 		if trace == nil {
-			fn()
-			return
+			return fn()
 		}
 		sp := trace.Root().Child(name)
-		fn()
+		err := fn()
 		sp.End()
+		return err
 	}
 
 	// Experiments share intermediate results: Table 2 feeds figs 5-6,
@@ -192,7 +192,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	needT4 := want["table4"] || want["fig9"]
 
 	section := func(name string) {
-		fmt.Fprintf(stdout, "\n==== %s ====\n", name)
+		cli.Emit(stdout, "\n==== %s ====\n", name)
 	}
 	writeSVG := func(name string, data []byte) {
 		if *svgDir == "" {
@@ -209,113 +209,171 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		logger.Info("wrote figure", "path", path)
 	}
-	started := time.Now()
+	sw := obs.NewStopwatch()
 
 	if needT2 {
-		phase("table2", func() {
+		if err := phase("table2", func() error {
 			r := experiments.Table2(cfg)
 			t2 = &r
-		})
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if needT3 {
-		phase("table3", func() {
+		if err := phase("table3", func() error {
 			r := experiments.Table3(cfg)
 			t3 = &r
-		})
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if needT4 {
-		phase("table4", func() {
+		if err := phase("table4", func() error {
 			r := experiments.Table4(cfg)
 			t4 = &r
-		})
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 
 	if want["table2"] {
 		section("Table 2")
-		experiments.WriteTable2(stdout, *t2)
+		if err := experiments.WriteTable2(stdout, *t2); err != nil {
+			return err
+		}
 	}
 	if want["table3"] {
 		section("Table 3")
-		experiments.WriteClusterTable(stdout, "Table 3: k-means variants vs k-AVG+ED (Rand Index)", t3.Baseline, t3.Rows, true)
+		if err := experiments.WriteClusterTable(stdout, "Table 3: k-means variants vs k-AVG+ED (Rand Index)", t3.Baseline, t3.Rows, true); err != nil {
+			return err
+		}
 	}
 	if want["table4"] {
 		section("Table 4")
-		experiments.WriteClusterTable(stdout, "Table 4: non-scalable methods vs k-AVG+ED (Rand Index)", t4.Baseline, t4.Rows, false)
+		if err := experiments.WriteClusterTable(stdout, "Table 4: non-scalable methods vs k-AVG+ED (Rand Index)", t4.Baseline, t4.Rows, false); err != nil {
+			return err
+		}
 	}
 	if want["fig2"] {
 		section("Figure 2")
-		phase("fig2", func() { experiments.WriteFig2(stdout, experiments.Fig2(cfg)) })
+		if err := phase("fig2", func() error { return experiments.WriteFig2(stdout, experiments.Fig2(cfg)) }); err != nil {
+			return err
+		}
 	}
 	if want["fig3"] {
 		section("Figure 3")
-		phase("fig3", func() { experiments.WriteFig3(stdout, experiments.Fig3(cfg)) })
+		if err := phase("fig3", func() error { return experiments.WriteFig3(stdout, experiments.Fig3(cfg)) }); err != nil {
+			return err
+		}
 	}
 	if want["fig4"] {
 		section("Figure 4")
-		phase("fig4", func() { experiments.WriteFig4(stdout, experiments.Fig4(cfg)) })
+		if err := phase("fig4", func() error { return experiments.WriteFig4(stdout, experiments.Fig4(cfg)) }); err != nil {
+			return err
+		}
 	}
 	if want["fig5"] {
 		section("Figure 5")
-		phase("fig5", func() {
+		if err := phase("fig5", func() error {
 			f5 := experiments.Fig5(cfg, *t2)
-			experiments.WriteScatter(stdout, "Figure 5a: SBD vs ED (1-NN accuracy)", "ED", "SBD", f5.Names, f5.ED, f5.SBD)
-			experiments.WriteScatter(stdout, "Figure 5b: SBD vs DTW (1-NN accuracy)", "DTW", "SBD", f5.Names, f5.DTW, f5.SBD)
+			if err := experiments.WriteScatter(stdout, "Figure 5a: SBD vs ED (1-NN accuracy)", "ED", "SBD", f5.Names, f5.ED, f5.SBD); err != nil {
+				return err
+			}
+			if err := experiments.WriteScatter(stdout, "Figure 5b: SBD vs DTW (1-NN accuracy)", "DTW", "SBD", f5.Names, f5.DTW, f5.SBD); err != nil {
+				return err
+			}
 			writeSVG("fig5a.svg", plot.Scatter("SBD vs ED (1-NN accuracy)", "ED", "SBD", f5.ED, f5.SBD, 0.3, 1.0))
 			writeSVG("fig5b.svg", plot.Scatter("SBD vs DTW (1-NN accuracy)", "DTW", "SBD", f5.DTW, f5.SBD, 0.3, 1.0))
-		})
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if want["fig6"] {
 		section("Figure 6")
-		phase("fig6", func() {
+		if err := phase("fig6", func() error {
 			f6 := experiments.Fig6(cfg, *t2)
-			experiments.WriteRanks(stdout, "Figure 6: distance-measure average ranks (Friedman + Nemenyi)", f6)
+			if err := experiments.WriteRanks(stdout, "Figure 6: distance-measure average ranks (Friedman + Nemenyi)", f6); err != nil {
+				return err
+			}
 			writeSVG("fig6.svg", plot.CDRanks("Distance-measure ranks", f6.Names, f6.AvgRanks, f6.CD, f6.Groups))
-		})
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if want["fig7"] {
 		section("Figure 7")
-		phase("fig7", func() {
+		if err := phase("fig7", func() error {
 			f7 := experiments.Fig7(cfg, *t3)
-			experiments.WriteScatter(stdout, "Figure 7a: k-Shape vs KSC (Rand Index)", "KSC", "k-Shape", f7.Names, f7.KSC, f7.KShape)
-			experiments.WriteScatter(stdout, "Figure 7b: k-Shape vs k-DBA (Rand Index)", "k-DBA", "k-Shape", f7.Names, f7.KDBA, f7.KShape)
+			if err := experiments.WriteScatter(stdout, "Figure 7a: k-Shape vs KSC (Rand Index)", "KSC", "k-Shape", f7.Names, f7.KSC, f7.KShape); err != nil {
+				return err
+			}
+			if err := experiments.WriteScatter(stdout, "Figure 7b: k-Shape vs k-DBA (Rand Index)", "k-DBA", "k-Shape", f7.Names, f7.KDBA, f7.KShape); err != nil {
+				return err
+			}
 			writeSVG("fig7a.svg", plot.Scatter("k-Shape vs KSC (Rand Index)", "KSC", "k-Shape", f7.KSC, f7.KShape, 0.3, 1.0))
 			writeSVG("fig7b.svg", plot.Scatter("k-Shape vs k-DBA (Rand Index)", "k-DBA", "k-Shape", f7.KDBA, f7.KShape, 0.3, 1.0))
-		})
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if want["fig8"] {
 		section("Figure 8")
-		phase("fig8", func() {
+		if err := phase("fig8", func() error {
 			f8 := experiments.Fig8(cfg, *t3)
-			experiments.WriteRanks(stdout, "Figure 8: k-means-variant average ranks (Friedman + Nemenyi)", f8)
+			if err := experiments.WriteRanks(stdout, "Figure 8: k-means-variant average ranks (Friedman + Nemenyi)", f8); err != nil {
+				return err
+			}
 			writeSVG("fig8.svg", plot.CDRanks("k-means-variant ranks", f8.Names, f8.AvgRanks, f8.CD, f8.Groups))
-		})
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if want["fig9"] {
 		section("Figure 9")
-		phase("fig9", func() {
+		if err := phase("fig9", func() error {
 			f9 := experiments.Fig9(cfg, *t3, *t4)
-			experiments.WriteRanks(stdout, "Figure 9: methods beating k-AVG+ED, average ranks (Friedman + Nemenyi)", f9)
+			if err := experiments.WriteRanks(stdout, "Figure 9: methods beating k-AVG+ED, average ranks (Friedman + Nemenyi)", f9); err != nil {
+				return err
+			}
 			writeSVG("fig9.svg", plot.CDRanks("Methods beating k-AVG+ED", f9.Names, f9.AvgRanks, f9.CD, f9.Groups))
-		})
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if want["fig10"] {
 		section("Figure 10")
-		phase("fig10", func() {
-			experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormOptimalScaling))
-		})
+		if err := phase("fig10", func() error {
+			return experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormOptimalScaling))
+		}); err != nil {
+			return err
+		}
 	}
 	if want["fig11"] {
 		section("Figure 11")
-		phase("fig11", func() {
-			experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormValues01))
-			experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormZScore))
-		})
+		if err := phase("fig11", func() error {
+			if err := experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormValues01)); err != nil {
+				return err
+			}
+			return experiments.WriteAppendixA(stdout, experiments.AppendixA(cfg, experiments.NormZScore))
+		}); err != nil {
+			return err
+		}
 	}
 	if want["fig12"] {
 		section("Figure 12")
-		phase("fig12", func() {
+		if err := phase("fig12", func() error {
 			f12 := experiments.Fig12(cfg)
-			experiments.WriteFig12(stdout, f12)
+			if err := experiments.WriteFig12(stdout, f12); err != nil {
+				return err
+			}
 			if len(f12.VaryN) > 0 {
 				xs := make([]float64, len(f12.VaryN))
 				kshapeS := make([]float64, len(f12.VaryN))
@@ -340,33 +398,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 				writeSVG("fig12b.svg", plot.Lines("Runtime vs series length (CBF)", "m", "seconds", xs,
 					map[string][]float64{"k-Shape": kshapeS, "k-AVG+ED": kavgS}))
 			}
-		})
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if want["ablations"] {
 		section("Ablations")
-		phase("ablations", func() {
+		if err := phase("ablations", func() error {
 			ab := experiments.Ablations(cfg)
-			experiments.WriteClusterTable(stdout,
+			return experiments.WriteClusterTable(stdout,
 				"Design-choice ablations vs full k-Shape (Rand Index)", ab.Rows[0], ab.Rows, true)
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	if want["table2x"] {
 		section("Table 2 extended")
-		phase("table2x", func() {
-			experiments.WriteTable2(stdout, experiments.Table2Extended(cfg))
-		})
+		if err := phase("table2x", func() error {
+			return experiments.WriteTable2(stdout, experiments.Table2Extended(cfg))
+		}); err != nil {
+			return err
+		}
 	}
 	if want["kestimation"] {
 		section("k estimation")
-		phase("kestimation", func() {
-			experiments.WriteKEstimation(stdout, experiments.KEstimation(cfg))
-		})
+		if err := phase("kestimation", func() error {
+			return experiments.WriteKEstimation(stdout, experiments.KEstimation(cfg))
+		}); err != nil {
+			return err
+		}
 	}
 	if want["datasets"] {
 		section("Datasets")
-		phase("datasets", func() {
-			experiments.WriteDatasetInventory(stdout, experiments.Inventory(cfg))
-		})
+		if err := phase("datasets", func() error {
+			return experiments.WriteDatasetInventory(stdout, experiments.Inventory(cfg))
+		}); err != nil {
+			return err
+		}
 	}
 
 	if *metricsPath != "" {
@@ -382,7 +451,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("metrics: %w", err)
 		}
 		if err := report.WriteJSON(f); err != nil {
-			f.Close()
+			_ = f.Close() // surfacing the write error matters more
 			return fmt.Errorf("metrics: %w", err)
 		}
 		if err := f.Close(); err != nil {
@@ -397,13 +466,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			f.Close()
+			_ = f.Close() // surfacing the write error matters more
 			return fmt.Errorf("memprofile: %w", err)
 		}
 		if err := f.Close(); err != nil {
 			return fmt.Errorf("memprofile: %w", err)
 		}
 	}
-	logger.Info("kbench finished", "seconds", time.Since(started).Seconds())
+	logger.Info("kbench finished", "seconds", sw.Seconds())
 	return nil
 }

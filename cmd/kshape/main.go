@@ -97,33 +97,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	var out io.Writer = stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		out = f
-	}
-	fmt.Fprintln(out, "index,cluster,label")
+	var csv strings.Builder
+	csv.WriteString("index,cluster,label\n")
 	for i, l := range res.Labels {
-		fmt.Fprintf(out, "%d,%d,%d\n", i, l, series[i].Label)
+		fmt.Fprintf(&csv, "%d,%d,%d\n", i, l, series[i].Label)
+	}
+	if err := writeFileOr(stdout, *outPath, csv.String()); err != nil {
+		return err
 	}
 
 	if *centroidsPath != "" && res.Centroids != nil {
-		f, err := os.Create(*centroidsPath)
-		if err != nil {
-			return err
-		}
+		var b strings.Builder
 		for j, c := range res.Centroids {
 			vals := make([]string, len(c))
 			for i, v := range c {
 				vals[i] = fmt.Sprintf("%.6f", v)
 			}
-			fmt.Fprintf(f, "%d,%s\n", j, strings.Join(vals, ","))
+			fmt.Fprintf(&b, "%d,%s\n", j, strings.Join(vals, ","))
 		}
-		f.Close()
+		if err := writeFileOr(nil, *centroidsPath, b.String()); err != nil {
+			return err
+		}
 	}
 
 	logger.Info("clustering complete",
@@ -142,22 +136,46 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// writeFileOr writes content to path when path is non-empty (creating the
+// file and checking both the write and the close), otherwise to fallback.
+func writeFileOr(fallback io.Writer, path, content string) error {
+	if path == "" {
+		_, err := io.WriteString(fallback, content)
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(f, content); err != nil {
+		_ = f.Close() // surfacing the write error matters more
+		return err
+	}
+	return f.Close()
+}
+
 // writeTrace renders the per-iteration convergence table and the kernel
-// counters accrued during the run.
+// counters accrued during the run. The table is assembled in memory
+// (tabwriter over a strings.Builder cannot fail) and emitted to the
+// diagnostic stream in one shot.
 func writeTrace(w io.Writer, tr *kshape.RunTrace) {
-	fmt.Fprintf(w, "\nconvergence trace (%s, %.1f ms total):\n", tr.Method, float64(tr.TotalNS)/1e6)
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nconvergence trace (%s, %.1f ms total):\n", tr.Method, float64(tr.TotalNS)/1e6)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	//lint:ignore errdrop tabwriter over a strings.Builder cannot fail
 	fmt.Fprintln(tw, "iter\tinertia\tchurn\treseeds\trefine_ms\tassign_ms\tcluster_sizes")
 	for _, it := range tr.Iterations {
 		sizes := make([]string, len(it.ClusterSizes))
 		for i, s := range it.ClusterSizes {
 			sizes[i] = fmt.Sprintf("%d", s)
 		}
+		//lint:ignore errdrop tabwriter over a strings.Builder cannot fail
 		fmt.Fprintf(tw, "%d\t%.4f\t%d\t%d\t%.2f\t%.2f\t%s\n",
 			it.Iteration, it.Inertia, it.LabelChurn, it.Reseeds,
 			float64(it.RefineNS)/1e6, float64(it.AssignNS)/1e6,
 			strings.Join(sizes, "/"))
 	}
+	//lint:ignore errdrop tabwriter over a strings.Builder cannot fail
 	tw.Flush()
 
 	c := tr.Counters
@@ -170,18 +188,19 @@ func writeTrace(w io.Writer, tr *kshape.RunTrace) {
 		{"eigen_decompositions", c.EigenDecompositions},
 		{"shape_extractions", c.ShapeExtractions}, {"reseeds", c.Reseeds},
 	}
-	fmt.Fprint(w, "kernel counters:")
+	b.WriteString("kernel counters:")
 	any := false
 	for _, p := range pairs {
 		if p.value != 0 {
-			fmt.Fprintf(w, " %s=%d", p.name, p.value)
+			fmt.Fprintf(&b, " %s=%d", p.name, p.value)
 			any = true
 		}
 	}
 	if !any {
-		fmt.Fprint(w, " (none)")
+		b.WriteString(" (none)")
 	}
-	fmt.Fprintln(w)
+	b.WriteString("\n")
+	cli.Emit(w, "%s", b.String())
 }
 
 func hasLabels(series []ts.Series) bool {

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kshape/internal/lint"
+)
+
+// seededModule is a standalone module containing exactly one violation
+// per analyzer; the test asserts each check fires with its stable ID.
+const seededModule = `package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+func main() {
+	x, y := 1.0, 2.0
+	if x == y {
+		fmt.Println("equal")
+	}
+	_ = rand.Intn(10)
+	go fmt.Println("spawned")
+	m := map[string]int{"a": 1}
+	for k := range m {
+		fmt.Fprintln(os.Stdout, k)
+	}
+	f, _ := os.Create("out.txt")
+	f.Close()
+}
+`
+
+// cleanModule has none of the banned constructs.
+const cleanModule = `package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("nothing to see")
+}
+`
+
+func writeModule(t *testing.T, source string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixturemod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestSeededViolationsAllChecksFire(t *testing.T) {
+	dir := writeModule(t, seededModule)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, check := range []string{"floatcmp", "detrand", "goroutine", "maporder", "errdrop"} {
+		if !strings.Contains(out, "["+check+"]") {
+			t.Errorf("seeded violation for %q not reported; output:\n%s", check, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("missing findings summary on stderr: %q", stderr.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, seededModule)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-C", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array of diagnostics: %v\n%s", err, stdout.String())
+	}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		seen[d.Check] = true
+		if d.Position.Filename == "" || d.Position.Line == 0 || d.Message == "" {
+			t.Errorf("diagnostic missing position or message: %+v", d)
+		}
+	}
+	for _, check := range []string{"floatcmp", "detrand", "goroutine", "maporder", "errdrop"} {
+		if !seen[check] {
+			t.Errorf("JSON output missing check %q", check)
+		}
+	}
+}
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	dir := writeModule(t, cleanModule)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run should print nothing, got %q", stdout.String())
+	}
+}
+
+func TestCleanModuleJSONEmitsEmptyArray(t *testing.T) {
+	dir := writeModule(t, cleanModule)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-C", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json run = %q, want []", got)
+	}
+}
+
+func TestChecksFlagRestrictsAnalyzers(t *testing.T) {
+	dir := writeModule(t, seededModule)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks", "floatcmp", "-C", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[floatcmp]") {
+		t.Error("-checks floatcmp did not report the seeded float comparison")
+	}
+	for _, other := range []string{"detrand", "goroutine", "maporder", "errdrop"} {
+		if strings.Contains(out, "["+other+"]") {
+			t.Errorf("-checks floatcmp also ran %q", other)
+		}
+	}
+}
+
+func TestDisableFlag(t *testing.T) {
+	dir := writeModule(t, seededModule)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-disable", "errdrop,maporder", "-C", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	out := stdout.String()
+	if strings.Contains(out, "[errdrop]") || strings.Contains(out, "[maporder]") {
+		t.Errorf("disabled checks still reported:\n%s", out)
+	}
+}
+
+func TestUnknownCheckIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks", "nosuch", "."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown check") {
+		t.Errorf("stderr = %q, want unknown-check message", stderr.String())
+	}
+}
+
+func TestListPrintsRegistry(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing %q", a.Name)
+		}
+	}
+}
+
+func TestSuppressionHonoredEndToEnd(t *testing.T) {
+	suppressed := strings.Replace(seededModule,
+		"\tif x == y {",
+		"\t//lint:ignore floatcmp seeded fixture keeps the comparison on purpose\n\tif x == y {", 1)
+	dir := writeModule(t, suppressed)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks", "floatcmp", "-C", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0 after suppression; output:\n%s", code, stdout.String())
+	}
+}

@@ -52,11 +52,13 @@ func main() {
 		for i := range data {
 			data[i] = cbf(i%3, m, rng)
 		}
+		//lint:ignore detrand this example exists to report wall-clock scaling (Figure 12a)
 		start := time.Now()
 		res, err := kshape.Cluster(data, 3, kshape.Options{Seed: 1})
 		if err != nil {
 			panic(err)
 		}
+		//lint:ignore detrand this example exists to report wall-clock scaling (Figure 12a)
 		elapsed := time.Since(start)
 		fmt.Printf("%-8d %-12v %-24.1f %d\n",
 			n, elapsed.Round(time.Millisecond),

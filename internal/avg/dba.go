@@ -69,6 +69,7 @@ func DBAWorkers(cluster [][]float64, init []float64, iterations, window, workers
 		}
 		changed := false
 		for i := range avg {
+			//lint:ignore floatcmp empty-bin guard; the tally is an exact integer-valued count
 			if count[i] == 0 {
 				continue // keep previous coordinate (cannot happen with a valid path)
 			}

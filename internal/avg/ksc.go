@@ -25,6 +25,7 @@ func KSCDistance(x, y []float64) (float64, []float64) {
 		return 0, nil
 	}
 	nx := ts.Norm(x)
+	//lint:ignore floatcmp exact zero-norm guard before dividing by it
 	if nx == 0 {
 		// Degenerate query: define the distance as 1 (full residual), with y
 		// unshifted, mirroring the SBD degenerate-input convention.
@@ -86,6 +87,7 @@ func KSCCentroid(cluster [][]float64, ref []float64) []float64 {
 			_, a = KSCDistance(ref, x)
 		}
 		nrm := ts.Norm(a)
+		//lint:ignore floatcmp exact zero-norm guard before dividing by it
 		if nrm == 0 {
 			continue
 		}

@@ -84,6 +84,7 @@ func sumSqED(cluster [][]float64, c []float64) float64 {
 
 func isAllZero(x []float64) bool {
 	for _, v := range x {
+		//lint:ignore floatcmp exact all-zero test of a degenerate centroid
 		if v != 0 {
 			return false
 		}

@@ -50,8 +50,19 @@ func (c *Common) HandleVersion(w io.Writer, tool string) bool {
 	if !c.ShowVersion {
 		return false
 	}
-	fmt.Fprintf(w, "%s %s\n", tool, obs.Version())
+	Emit(w, "%s %s\n", tool, obs.Version())
 	return true
+}
+
+// Emit renders user-facing terminal output. A failed write to the user's
+// console (closed pipe, detached terminal) has no recovery path in a
+// CLI, so the error is deliberately dropped here — this helper is the
+// one sanctioned funnel for that. Output that can land in a file
+// (reports, CSV results, profiles) must check its write errors instead;
+// the errdrop analyzer enforces the split.
+func Emit(w io.Writer, format string, args ...any) {
+	//lint:ignore errdrop terminal-output funnel; console write failures are unactionable
+	fmt.Fprintf(w, format, args...)
 }
 
 // Logger builds the tool's structured logger from the -log-level and

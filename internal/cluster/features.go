@@ -124,6 +124,7 @@ func Features(x []float64) []float64 {
 // autocorr computes the lag-l autocorrelation coefficient.
 func autocorr(x []float64, mu, sd float64, lag int) float64 {
 	m := len(x)
+	//lint:ignore floatcmp exact zero-variance guard before dividing by sd
 	if sd == 0 || lag >= m {
 		return 0
 	}
@@ -148,6 +149,7 @@ func trendSlope(x []float64) float64 {
 		num += dt * (v - xMean)
 		den += dt * dt
 	}
+	//lint:ignore floatcmp exact zero-denominator guard
 	if den == 0 {
 		return 0
 	}
@@ -166,6 +168,7 @@ func spectralEntropy(x []float64) float64 {
 	for _, p := range spec {
 		total += p
 	}
+	//lint:ignore floatcmp exact zero-total guard before normalizing
 	if total == 0 {
 		return 0
 	}

@@ -103,6 +103,7 @@ func (s *Spectral) ClusterWithMatrix(d [][]float64, k int, rng *rand.Rand) (*cor
 func (s *Spectral) Embed(d [][]float64, k int) ([][]float64, error) {
 	n := len(d)
 	sigma := s.Sigma
+	//lint:ignore floatcmp exact zero-bandwidth guard before dividing by sigma
 	if sigma == 0 {
 		sigma = medianOffDiagonal(d)
 	}

@@ -15,7 +15,6 @@ import (
 	"log/slog"
 	"math"
 	"math/rand"
-	"time"
 
 	"kshape/internal/avg"
 	"kshape/internal/dist"
@@ -160,7 +159,7 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 		// Refinement step: recompute each centroid from its members, using
 		// the previous centroid as the alignment reference. Clusters are
 		// independent, so they refine in parallel.
-		refineStart := time.Now()
+		refineSW := obs.NewStopwatch()
 		members := make([][][]float64, k)
 		for i, l := range labels {
 			members[l] = append(members[l], data[i])
@@ -168,13 +167,13 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 		par.For(cfg.Workers, k, func(j int) {
 			centroids[j] = cfg.Centroid(members[j], centroids[j])
 		})
-		refineNS := time.Since(refineStart).Nanoseconds()
+		refineNS := refineSW.ElapsedNS()
 
 		// Assignment step: each series moves to its closest centroid.
 		// Each index writes only its own labels/assignDist slots, and the
 		// centroid scan is ascending with a strict comparison, so the
 		// outcome is worker-count independent.
-		assignStart := time.Now()
+		assignSW := obs.NewStopwatch()
 		par.For(cfg.Workers, n, func(i int) {
 			x := data[i]
 			best, bestJ := math.Inf(1), labels[i]
@@ -186,11 +185,11 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 			labels[i] = bestJ
 			assignDist[i] = best
 		})
-		assignNS := time.Since(assignStart).Nanoseconds()
+		assignNS := assignSW.ElapsedNS()
 
 		// Re-seed emptied clusters with the worst-fitting series.
 		reseeds := reseedEmptyClusters(data, labels, assignDist, k)
-		observeIterationTelemetry(iter, refineNS, assignNS, refineStart)
+		observeIterationTelemetry(iter, refineNS, assignNS, refineSW)
 
 		res.Iterations = iter + 1
 		converged := equalLabels(labels, prev)
@@ -211,13 +210,13 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 // observeIterationTelemetry records one iteration's phase latencies into
 // the global histograms and advances the current-iteration gauge. All
 // sinks are Enabled-gated, so the disabled path costs a few atomic loads.
-func observeIterationTelemetry(iter int, refineNS, assignNS int64, iterStart time.Time) {
+func observeIterationTelemetry(iter int, refineNS, assignNS int64, iterSW obs.Stopwatch) {
 	if !obs.Enabled() {
 		return
 	}
 	obs.ObservePhase(obs.PhaseRefine, refineNS)
 	obs.ObservePhase(obs.PhaseAssign, assignNS)
-	obs.ObservePhase(obs.PhaseIteration, time.Since(iterStart).Nanoseconds())
+	obs.ObservePhase(obs.PhaseIteration, iterSW.ElapsedNS())
 	obs.SetGauge(obs.GaugeCurrentIteration, int64(iter+1))
 }
 
@@ -419,7 +418,7 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 		// Refinement: align members to the previous centroid with one
 		// batched query, then extract the new shape. Clusters refine in
 		// parallel; each goroutine owns its cluster's query and scratch.
-		refineStart := time.Now()
+		refineSW := obs.NewStopwatch()
 		memberIdx := make([][]int, k)
 		for i, l := range labels {
 			memberIdx[l] = append(memberIdx[l], i)
@@ -444,7 +443,7 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 			}
 			centroids[j] = avg.ShapeExtractionAligned(aligned)
 		})
-		refineNS := time.Since(refineStart).Nanoseconds()
+		refineNS := refineSW.ElapsedNS()
 
 		// Assignment: one batched query per centroid (prepared in
 		// parallel — exactly k forward FFTs, like the serial loop), then
@@ -452,7 +451,7 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 		// inverse-FFT scratch so the queries are shared read-only. The
 		// per-series centroid scan is ascending with a strict comparison,
 		// so labels are worker-count independent.
-		assignStart := time.Now()
+		assignSW := obs.NewStopwatch()
 		par.For(opt.Workers, k, func(j int) {
 			queries[j] = batch.Query(centroids[j])
 		})
@@ -470,9 +469,9 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 			}
 		})
 
-		assignNS := time.Since(assignStart).Nanoseconds()
+		assignNS := assignSW.ElapsedNS()
 		reseeds := reseedEmptyClusters(data, labels, assignDist, k)
-		observeIterationTelemetry(iter, refineNS, assignNS, refineStart)
+		observeIterationTelemetry(iter, refineNS, assignNS, refineSW)
 		res.Iterations = iter + 1
 		converged := equalLabels(labels, prev)
 		observe(iter, labels, prev, assignDist, k, refineNS, assignNS, reseeds)
@@ -490,6 +489,7 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 
 func isAllZero(x []float64) bool {
 	for _, v := range x {
+		//lint:ignore floatcmp exact all-zero test of a degenerate series
 		if v != 0 {
 			return false
 		}

@@ -132,6 +132,7 @@ func parseLabel(s string) (int, error) {
 		return 0, fmt.Errorf("bad label %q", s)
 	}
 	v := int(f)
+	//lint:ignore floatcmp exact integer-valuedness test of a parsed class label
 	if float64(v) != f {
 		return 0, fmt.Errorf("non-integer label %q", s)
 	}

@@ -69,6 +69,7 @@ func (LCSSMeasure) Name() string { return "LCSS" }
 // Distance implements Measure.
 func (l LCSSMeasure) Distance(x, y []float64) float64 {
 	eps := l.Epsilon
+	//lint:ignore floatcmp option-unset sentinel; exactly 0 selects the default threshold
 	if eps == 0 {
 		eps = 0.5
 	}
@@ -118,6 +119,7 @@ func (e EDRMeasure) Distance(x, y []float64) float64 {
 		return 0
 	}
 	eps := e.Epsilon
+	//lint:ignore floatcmp option-unset sentinel; exactly 0 selects the default threshold
 	if eps == 0 {
 		eps = 0.5
 	}
@@ -210,6 +212,7 @@ func (MSMMeasure) Name() string { return "MSM" }
 // Distance implements Measure.
 func (mm MSMMeasure) Distance(x, y []float64) float64 {
 	c := mm.C
+	//lint:ignore floatcmp option-unset sentinel; exactly 0 selects the default penalty
 	if c == 0 {
 		c = 0.5
 	}
@@ -282,9 +285,11 @@ func (TWEDMeasure) Name() string { return "TWED" }
 // Distance implements Measure.
 func (t TWEDMeasure) Distance(x, y []float64) float64 {
 	lambda, nu := t.Lambda, t.Nu
+	//lint:ignore floatcmp option-unset sentinel; exactly 0 selects the default penalty
 	if lambda == 0 {
 		lambda = 1
 	}
+	//lint:ignore floatcmp option-unset sentinel; exactly 0 selects the default stiffness
 	if nu == 0 {
 		nu = 0.001
 	}

@@ -60,6 +60,7 @@ func NCCSequence(x, y []float64, norm NCCNorm) []float64 {
 		}
 	case NCCc:
 		den := math.Sqrt(ts.Dot(x, x) * ts.Dot(y, y))
+		//lint:ignore floatcmp exact zero-norm guard before dividing by it
 		if den == 0 {
 			// At least one sequence is identically zero (e.g. a z-normalized
 			// constant); define the correlation as 0 everywhere.
@@ -146,6 +147,7 @@ func sbdImpl(x, y []float64, variant sbdVariant) (float64, []float64) {
 		cc = fft.CrossCorrelateNaive(x, y)
 	}
 	best, bestIdx := math.Inf(-1), 0
+	//lint:ignore floatcmp exact zero-norm guard before dividing by it
 	if den == 0 {
 		// Degenerate input: define NCCc = 0, so dist = 1 and no shift.
 		best, bestIdx = 0, m-1

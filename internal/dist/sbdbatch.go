@@ -95,6 +95,7 @@ func (s *SBDQuery) DistanceScratch(i int, scratch []complex128) (dist float64, s
 	b := s.batch
 	m := b.m
 	den := s.norm * b.norm[i]
+	//lint:ignore floatcmp exact zero-norm guard before dividing by it
 	if den == 0 {
 		return 1, 0 // degenerate-input convention, as in SBD
 	}

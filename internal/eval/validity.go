@@ -29,6 +29,7 @@ func DaviesBouldin(data [][]float64, labels []int, k int) float64 {
 				continue
 			}
 			d := euclid(centroids[i], centroids[j])
+			//lint:ignore floatcmp exact zero-distance guard (identical series)
 			if d == 0 {
 				continue
 			}
@@ -77,6 +78,7 @@ func CalinskiHarabasz(data [][]float64, labels []int, k int) float64 {
 		d := euclid(x, centroids[labels[i]])
 		within += d * d
 	}
+	//lint:ignore floatcmp exact zero within-cluster scatter guard
 	if within == 0 {
 		return 0
 	}

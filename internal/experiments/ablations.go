@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"kshape/internal/obs"
 	"math/rand"
-	"time"
 
 	"kshape/internal/avg"
 	"kshape/internal/core"
@@ -80,7 +80,7 @@ func Ablations(cfg Config) AblationResult {
 	rows := make([]ClusterRow, len(variants))
 	for vi, v := range variants {
 		row := ClusterRow{Name: v.name, RandIndexes: make([]float64, len(cfg.Datasets))}
-		start := time.Now()
+		sw := obs.NewStopwatch()
 		cfg.parallelOver(len(cfg.Datasets), func(d int) {
 			ds := cfg.Datasets[d]
 			data := ts.Rows(ds.All())
@@ -104,7 +104,7 @@ func Ablations(cfg Config) AblationResult {
 				row.RandIndexes[d] = sum / float64(count)
 			}
 		})
-		row.Runtime = time.Since(start)
+		row.Runtime = sw.Elapsed()
 		rows[vi] = row
 		cfg.progress("ablation done", "variant", v.name, "avg_rand_index", Mean(row.RandIndexes))
 	}

@@ -138,7 +138,7 @@ func runClusterer(cfg Config, c cluster.Clusterer, runs int) ClusterRow {
 	if runs < 1 {
 		runs = 1
 	}
-	start := time.Now()
+	sw := obs.NewStopwatch()
 	evalDataset := func(d int) {
 		ds := datasets[d]
 		data := ts.Rows(ds.All())
@@ -168,7 +168,7 @@ func runClusterer(cfg Config, c cluster.Clusterer, runs int) ClusterRow {
 	} else {
 		cfg.parallelOver(len(datasets), evalDataset)
 	}
-	row.Runtime = time.Since(start)
+	row.Runtime = sw.Elapsed()
 	cfg.progress("clustering sweep done", "method", c.Name(), "seconds", row.Runtime.Seconds(), "avg_rand_index", Mean(row.RandIndexes))
 	return row
 }
@@ -190,12 +190,12 @@ func observedRun(cfg Config, c cluster.Clusterer, data [][]float64, truth []int,
 	}
 	var traj []obs.IterationStats
 	before := obs.ReadCounters()
-	start := time.Now()
+	sw := obs.NewStopwatch()
 	res, err := cluster.Run(c, data, k, rng, cluster.Opts{
 		OnIteration: func(st obs.IterationStats) { traj = append(traj, st) },
 		Workers:     1,
 	})
-	elapsed := time.Since(start)
+	elapsed := sw.Elapsed()
 	if err != nil {
 		return 0, false
 	}
@@ -269,15 +269,15 @@ func runMatrixClusterer(cfg Config, job matrixJob) ClusterRow {
 	if runs < 1 {
 		runs = 1
 	}
-	start := time.Now()
+	sw := obs.NewStopwatch()
 	for d, ds := range datasets {
 		data := ts.Rows(ds.All())
 		truth := ts.Labels(ds.All())
 		var countersBefore obs.Counters
-		var dsStart time.Time
+		var dsSW obs.Stopwatch
 		if cfg.Metrics != nil {
 			countersBefore = obs.ReadCounters()
-			dsStart = time.Now()
+			dsSW = obs.NewStopwatch()
 		}
 		dm := cachedMatrix(ds.Name, job.measure, data)
 		switch job.kind {
@@ -329,14 +329,14 @@ func runMatrixClusterer(cfg Config, job matrixJob) ClusterRow {
 			cfg.Metrics.Record(obs.RunRecord{
 				Method:    job.name,
 				Dataset:   ds.Name,
-				Seconds:   time.Since(dsStart).Seconds(),
+				Seconds:   dsSW.Seconds(),
 				Score:     row.RandIndexes[d],
 				ScoreKind: "rand_index",
 				Counters:  obs.ReadCounters().Sub(countersBefore),
 			})
 		}
 	}
-	row.Runtime = time.Since(start)
+	row.Runtime = sw.Elapsed()
 	cfg.progress("clustering sweep done", "method", job.name, "seconds", row.Runtime.Seconds(), "avg_rand_index", Mean(row.RandIndexes))
 	return row
 }

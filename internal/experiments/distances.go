@@ -109,19 +109,19 @@ func Table2(cfg Config) Table2Result {
 	rows := make([]DistanceRow, len(evaluators))
 	for r, ev := range evaluators {
 		accs := make([]float64, n)
-		start := time.Now()
+		sw := obs.NewStopwatch()
 		for i := range datasets {
 			if cfg.Metrics == nil {
 				accs[i] = ev.evaluate(i)
 				continue
 			}
 			countersBefore := obs.ReadCounters()
-			dsStart := time.Now()
+			dsSW := obs.NewStopwatch()
 			accs[i] = ev.evaluate(i)
 			cfg.Metrics.Record(obs.RunRecord{
 				Method:    ev.name,
 				Dataset:   datasets[i].Name,
-				Seconds:   time.Since(dsStart).Seconds(),
+				Seconds:   dsSW.Seconds(),
 				Score:     accs[i],
 				ScoreKind: "accuracy_1nn",
 				Counters:  obs.ReadCounters().Sub(countersBefore),
@@ -130,7 +130,7 @@ func Table2(cfg Config) Table2Result {
 		rows[r] = DistanceRow{
 			Name:       ev.name,
 			Accuracies: accs,
-			Runtime:    time.Since(start),
+			Runtime:    sw.Elapsed(),
 		}
 		cfg.progress("table2 measure done", "measure", ev.name, "seconds", rows[r].Runtime.Seconds(), "avg_accuracy", Mean(accs))
 	}

@@ -102,6 +102,7 @@ func (c Config) progress(msg string, attrs ...any) {
 		for i := 0; i+1 < len(attrs); i += 2 {
 			fmt.Fprintf(&sb, " %v=%v", attrs[i], attrs[i+1])
 		}
+		//lint:ignore errdrop best-effort progress line to an interactive console
 		fmt.Fprintln(c.Progress, sb.String())
 	}
 }
@@ -122,6 +123,7 @@ func CompareCounts(a, b []float64) (greater, equal, less int) {
 		switch {
 		case round(a[i]) > round(b[i]):
 			greater++
+		//lint:ignore floatcmp exact tie in the rounded scores mirrors the paper's >/=/< counting
 		case round(a[i]) == round(b[i]):
 			equal++
 		default:

@@ -1,8 +1,8 @@
 package experiments
 
 import (
+	"kshape/internal/obs"
 	"math"
-	"time"
 
 	"kshape/internal/avg"
 	"kshape/internal/core"
@@ -180,7 +180,7 @@ func fig12Point(cfg Config, n, m int) Fig12Point {
 	k := 3
 	pt := Fig12Point{N: n, M: m}
 
-	start := time.Now()
+	sw := obs.NewStopwatch()
 	resED, err := core.Lloyd(data, core.Config{
 		K:        k,
 		Distance: func(c, x []float64) float64 { return dist.ED(c, x) },
@@ -188,14 +188,14 @@ func fig12Point(cfg Config, n, m int) Fig12Point {
 		Rand:     cfg.rng(int64(n)*7 + int64(m)),
 	})
 	if err == nil {
-		pt.KAvgEDSeconds = time.Since(start).Seconds()
+		pt.KAvgEDSeconds = sw.Seconds()
 		pt.KAvgEDIters = resED.Iterations
 	}
 
-	start = time.Now()
+	sw = obs.NewStopwatch()
 	resKS, err := core.KShape(data, k, cfg.rng(int64(n)*13+int64(m)))
 	if err == nil {
-		pt.KShapeSeconds = time.Since(start).Seconds()
+		pt.KShapeSeconds = sw.Seconds()
 		pt.KShapeIters = resKS.Iterations
 	}
 	return pt

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"kshape/internal/obs"
 	"math/rand"
 	"time"
 
@@ -37,7 +38,7 @@ type KEstimationResult struct {
 // Calinski-Harabasz (maximum). Candidate k ranges over [2, trueK+3].
 func KEstimation(cfg Config) KEstimationResult {
 	var res KEstimationResult
-	start := time.Now()
+	sw := obs.NewStopwatch()
 	res.Rows = make([]KEstimationRow, len(cfg.Datasets))
 	cfg.parallelOver(len(cfg.Datasets), func(di int) {
 		ds := cfg.Datasets[di]
@@ -94,6 +95,6 @@ func KEstimation(cfg Config) KEstimationResult {
 		tally(row.DBK, &res.DBExact, &res.DBWithinOne)
 		tally(row.CHK, &res.CHExact, &res.CHWithinOne)
 	}
-	res.Runtime = time.Since(start)
+	res.Runtime = sw.Elapsed()
 	return res
 }

@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"time"
+	"kshape/internal/obs"
 
 	"kshape/internal/dist"
 	"kshape/internal/eval"
@@ -19,11 +19,11 @@ func Table2Extended(cfg Config) Table2Result {
 	rows := make([]DistanceRow, len(measures))
 	for r, m := range measures {
 		accs := make([]float64, len(cfg.Datasets))
-		start := time.Now()
+		sw := obs.NewStopwatch()
 		for i, ds := range cfg.Datasets {
 			accs[i] = eval.OneNNAccuracy(m, ds.Train, ds.Test)
 		}
-		rows[r] = DistanceRow{Name: m.Name(), Accuracies: accs, Runtime: time.Since(start)}
+		rows[r] = DistanceRow{Name: m.Name(), Accuracies: accs, Runtime: sw.Elapsed()}
 		cfg.progress("table2x measure done", "measure", m.Name(), "seconds", rows[r].Runtime.Seconds(), "avg_accuracy", Mean(accs))
 	}
 	ed := rows[0]

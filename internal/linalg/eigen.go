@@ -55,6 +55,7 @@ func DominantEigen(s *Sym) (float64, []float64) {
 		iters++
 		s.MulVec(next, v)
 		newLambda := dot(v, next)
+		//lint:ignore floatcmp exact zero-vector guard; power iteration restarts from a fresh vector
 		if normalize(next) == 0 {
 			// v is in the null space; eigenvalue 0.
 			return 0, v
@@ -149,6 +150,7 @@ func tred2(a [][]float64, d, e []float64) {
 			for k := 0; k <= l; k++ {
 				scale += math.Abs(a[i][k])
 			}
+			//lint:ignore floatcmp exact zero-scale guard mirroring the EISPACK tred2 reference
 			if scale == 0 {
 				e[i] = a[i][l]
 			} else {
@@ -196,6 +198,7 @@ func tred2(a [][]float64, d, e []float64) {
 	e[0] = 0.0
 	for i := 0; i < n; i++ {
 		l := i - 1
+		//lint:ignore floatcmp exact zero test mirroring the EISPACK tred2 reference
 		if d[i] != 0 {
 			for j := 0; j <= l; j++ {
 				g := 0.0
@@ -257,6 +260,7 @@ func tql2(a [][]float64, d, e []float64) error {
 				b := c * e[i]
 				r = math.Hypot(f, g)
 				e[i+1] = r
+				//lint:ignore floatcmp exact zero off-diagonal test mirroring the EISPACK tql2 reference
 				if r == 0 {
 					d[i+1] -= p
 					e[m] = 0
@@ -275,6 +279,7 @@ func tql2(a [][]float64, d, e []float64) error {
 					a[k][i] = c*a[k][i] - s*f
 				}
 			}
+			//lint:ignore floatcmp exact zero off-diagonal test mirroring the EISPACK tql2 reference
 			if r == 0 && m-1 >= l {
 				continue
 			}

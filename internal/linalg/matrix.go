@@ -69,6 +69,7 @@ func (s *Sym) GramAddOuter(x []float64) {
 	}
 	for i := 0; i < n; i++ {
 		xi := x[i]
+		//lint:ignore floatcmp exact zero-pivot guard
 		if xi == 0 {
 			continue
 		}
@@ -89,6 +90,7 @@ func (s *Sym) RayleighQuotient(x []float64) float64 {
 		num += x[i] * tmp[i]
 		den += x[i] * x[i]
 	}
+	//lint:ignore floatcmp exact zero-denominator guard
 	if den == 0 {
 		return 0
 	}
@@ -135,6 +137,7 @@ func normalize(x []float64) float64 {
 		ss += v * v
 	}
 	nrm := math.Sqrt(ss)
+	//lint:ignore floatcmp exact zero-norm guard before dividing by it
 	if nrm == 0 {
 		return 0
 	}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DetRandAnalyzer enforces the repo's bit-determinism contract: library
+// code must not read the wall clock or draw from ambient randomness.
+//
+//   - time.Now / time.Since / time.Until are permitted only inside
+//     kshape/internal/obs — every other package measures time through
+//     obs.NewStopwatch, so the clock has exactly one auditable entry
+//     point.
+//   - math/rand (and math/rand/v2) package-level functions — rand.Intn,
+//     rand.Float64, rand.Shuffle, rand.Seed, … — are banned everywhere:
+//     they draw from the shared global source, so results depend on what
+//     else ran before. Randomness must enter through an explicitly
+//     seeded *rand.Rand threaded as a parameter; the constructors
+//     rand.New / rand.NewSource / rand.NewZipf (and v2's NewPCG /
+//     NewChaCha8) are therefore allowed.
+//
+// crypto/rand is not flagged: it never feeds numerical results (the obs
+// run-ID is the one user).
+var DetRandAnalyzer = &Analyzer{
+	Name: "detrand",
+	Doc:  "disallow wall-clock reads outside internal/obs and global math/rand state",
+	Run:  runDetRand,
+}
+
+// timeAllowedPrefix is the single package subtree where reading the
+// clock is the point (histograms, spans, stopwatches).
+const timeAllowedPrefix = "kshape/internal/obs"
+
+// randConstructors take an explicit source/seed and are therefore
+// deterministic; everything else at package level draws from the global
+// source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetRand(p *Pass) {
+	timeOK := p.PkgPath == timeAllowedPrefix || strings.HasPrefix(p.PkgPath, timeAllowedPrefix+"/")
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isTestFile(p.Fset, call.Pos()) {
+				return true
+			}
+			if !timeOK {
+				if name, ok := pkgFunc(p.TypesInfo, call, "time", "Now", "Since", "Until"); ok {
+					p.Reportf(call.Pos(), "time.%s outside internal/obs; route timing through obs.NewStopwatch so determinism-sensitive code has no clock access", name)
+				}
+			}
+			for _, path := range []string{"math/rand", "math/rand/v2"} {
+				name, ok := pkgFunc(p.TypesInfo, call, path)
+				if ok && !randConstructors[name] {
+					p.Reportf(call.Pos(), "global rand.%s draws from the shared %s source; thread an explicitly seeded *rand.Rand instead", name, path)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDropAnalyzer flags expression statements that silently discard an
+// error result. A swallowed write or close error means a truncated
+// report or dataset file looks like a success — the experiment tables
+// must either be complete or fail loudly.
+//
+// Allowlisted (errors are impossible or the destination is the user's
+// terminal, where the process is about to exit anyway):
+//   - fmt.Print / fmt.Printf / fmt.Println;
+//   - fmt.Fprint* to os.Stdout or os.Stderr;
+//   - fmt.Fprint* and Write* methods whose destination is a
+//     strings.Builder or bytes.Buffer (including types embedding one) —
+//     those writers are documented never to return a non-nil error.
+//
+// Explicit discards (`_ = f()`) and deferred calls are not flagged: the
+// blank assignment is a visible, reviewable statement of intent.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "disallow silently discarded error returns",
+	Run:  runErrDrop,
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok || isTestFile(p.Fset, call.Pos()) {
+				return true
+			}
+			if !returnsError(p.TypesInfo, call) || errAllowlisted(p.TypesInfo, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "error returned by %s is silently discarded; handle it or assign to _ deliberately", types.ExprString(call.Fun))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() { // conversion, not a call
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false // builtin
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+func errAllowlisted(info *types.Info, call *ast.CallExpr) bool {
+	// fmt.Print* always writes to stdout.
+	if _, ok := pkgFunc(info, call, "fmt", "Print", "Printf", "Println"); ok {
+		return true
+	}
+	// fmt.Fprint* to stdout/stderr or to an infallible in-memory writer.
+	if _, ok := pkgFunc(info, call, "fmt", "Fprint", "Fprintf", "Fprintln"); ok && len(call.Args) > 0 {
+		w := ast.Unparen(call.Args[0])
+		if sel, ok := w.(*ast.SelectorExpr); ok {
+			if obj := info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+				(obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+				return true
+			}
+		}
+		if tv, ok := info.Types[w]; ok && tv.Type != nil && isInfallibleWriter(tv.Type) {
+			return true
+		}
+	}
+	// Methods promoted from strings.Builder / bytes.Buffer
+	// (WriteString, WriteByte, …) document a nil error.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj, ok := info.Uses[sel.Sel].(*types.Func); ok {
+			if recv := obj.Type().(*types.Signature).Recv(); recv != nil {
+				switch namedPath(recv.Type()) {
+				case "strings.Builder", "bytes.Buffer":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isInfallibleWriter reports whether t is (a pointer to)
+// strings.Builder / bytes.Buffer, or a struct embedding one.
+func isInfallibleWriter(t types.Type) bool {
+	switch namedPath(t) {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Embedded() && isInfallibleWriter(f.Type()) {
+			return true
+		}
+	}
+	return false
+}

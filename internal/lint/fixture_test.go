@@ -1,0 +1,268 @@
+package lint
+
+// The fixture harness: each directory under testdata/src is one small
+// package seeded with violations and non-violations. Expectations live in
+// the fixtures themselves as trailing comments of the form
+//
+//	// want "regex" ["regex" ...]
+//
+// where each regex must match the "[check] message" of a diagnostic
+// reported on that line, and every diagnostic must be claimed by a want —
+// the same contract as x/tools' analysistest, reimplemented here because
+// the linter (and so its tests) must stay stdlib-only.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseFixture parses and type-checks testdata/src/<name> as a package
+// with the given import path. The path matters: goroutine and detrand
+// scope their exemptions by it.
+func parseFixture(t *testing.T, name, pkgPath string) *Pass {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	info := NewTypesInfo()
+	imp := &moduleImporter{
+		local:    map[string]*types.Package{},
+		std:      importer.Default(),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-check %s: %v", dir, err)
+	}
+	return &Pass{Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info, PkgPath: pkgPath}
+}
+
+// want is one expectation: a diagnostic matching rx at file:line.
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// collectWants scans every fixture file of the pass for want comments.
+func collectWants(t *testing.T, p *Pass) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				quoted := quotedRE.FindAllString(m[1], -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s: want comment with no quoted pattern: %s", pos, c.Text)
+				}
+				for _, q := range quoted {
+					rx, err := regexp.Compile(q[1 : len(q)-1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs the analyzers over the fixture package and matches
+// diagnostics against the want comments in both directions.
+func checkFixture(t *testing.T, name, pkgPath string, analyzers []*Analyzer) {
+	t.Helper()
+	p := parseFixture(t, name, pkgPath)
+	wants := collectWants(t, p)
+	diags := p.Run(analyzers)
+	for _, d := range diags {
+		text := fmt.Sprintf("[%s] %s", d.Check, d.Message)
+		claimed := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Position.Filename && w.line == d.Position.Line && w.rx.MatchString(text) {
+				w.hit = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Position, text)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+func TestFloatCmpFixture(t *testing.T) {
+	checkFixture(t, "floatcmp", "fix/floatcmp", []*Analyzer{FloatCmpAnalyzer})
+}
+
+func TestDetRandFixture(t *testing.T) {
+	checkFixture(t, "detrand", "fix/detrand", []*Analyzer{DetRandAnalyzer})
+}
+
+// TestDetRandObsExemption re-checks the same timing fixture under the
+// instrumentation subtree's import path: every time.* finding disappears,
+// while the global-rand findings stay.
+func TestDetRandObsExemption(t *testing.T) {
+	p := parseFixture(t, "detrand", "kshape/internal/obs/sub")
+	for _, d := range p.Run([]*Analyzer{DetRandAnalyzer}) {
+		if strings.Contains(d.Message, "time.") {
+			t.Errorf("time finding inside internal/obs subtree should be exempt: %s", d)
+		}
+	}
+}
+
+func TestGoroutineFixture(t *testing.T) {
+	checkFixture(t, "goroutine", "fix/goroutine", []*Analyzer{GoroutineAnalyzer})
+}
+
+// TestGoroutinParExemption re-checks the goroutine fixture as if it were
+// internal/par itself: the one package allowed to spawn goroutines.
+func TestGoroutineParExemption(t *testing.T) {
+	p := parseFixture(t, "goroutine", "kshape/internal/par")
+	if diags := p.Run([]*Analyzer{GoroutineAnalyzer}); len(diags) != 0 {
+		t.Errorf("internal/par must be exempt, got %v", diags)
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	checkFixture(t, "maporder", "fix/maporder", []*Analyzer{MapOrderAnalyzer})
+}
+
+func TestErrDropFixture(t *testing.T) {
+	checkFixture(t, "errdrop", "fix/errdrop", []*Analyzer{ErrDropAnalyzer})
+}
+
+// TestSuppressionFixture exercises the //lint:ignore machinery: valid
+// directives silence findings on the same and next line, malformed or
+// unknown-check directives are themselves reported under "ignore".
+func TestSuppressionFixture(t *testing.T) {
+	checkFixture(t, "suppress", "fix/suppress", Analyzers())
+}
+
+// TestMalformedDirectives asserts that broken //lint:ignore directives
+// (missing reason, unknown check, no operands at all) are reported under
+// the "ignore" pseudo-check on the directive's line AND fail to suppress
+// the finding beneath them. These lines are asserted from test code
+// because a want comment cannot share a line with the directive it
+// describes.
+func TestMalformedDirectives(t *testing.T) {
+	p := parseFixture(t, "badignore", "fix/badignore")
+	diags := p.Run(Analyzers())
+	got := map[string][]int{}
+	for _, d := range diags {
+		got[d.Check] = append(got[d.Check], d.Position.Line)
+	}
+	wantLines := map[string][]int{
+		"ignore":   {8, 13, 18}, // the three broken directives
+		"floatcmp": {9, 14, 19}, // the comparisons they failed to suppress
+	}
+	for check, lines := range wantLines {
+		if fmt.Sprint(got[check]) != fmt.Sprint(lines) {
+			t.Errorf("%s diagnostics on lines %v, want %v", check, got[check], lines)
+		}
+	}
+	if len(diags) != 6 {
+		t.Errorf("got %d diagnostics, want 6: %v", len(diags), diags)
+	}
+}
+
+func TestTestFilesExempt(t *testing.T) {
+	p := parseFixture(t, "testexempt", "fix/testexempt")
+	if diags := p.Run(Analyzers()); len(diags) != 0 {
+		t.Errorf("_test.go files must be exempt from all analyzers, got %v", diags)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("all", "")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("Select(all) = %d analyzers, err %v", len(all), err)
+	}
+	one, err := Select("floatcmp", "")
+	if err != nil || len(one) != 1 || one[0].Name != "floatcmp" {
+		t.Fatalf("Select(floatcmp) = %v, err %v", one, err)
+	}
+	rest, err := Select("", "errdrop")
+	if err != nil || len(rest) != len(Analyzers())-1 {
+		t.Fatalf("Select(-errdrop) = %d analyzers, err %v", len(rest), err)
+	}
+	for _, a := range rest {
+		if a.Name == "errdrop" {
+			t.Error("disabled analyzer still selected")
+		}
+	}
+	if _, err := Select("nosuch", ""); err == nil {
+		t.Error("Select(nosuch) should fail")
+	}
+	if _, err := Select("", "nosuch"); err == nil {
+		t.Error("Select(-nosuch) should fail")
+	}
+	// Selection order must follow the registry regardless of input order.
+	two, err := Select("errdrop,floatcmp", "")
+	if err != nil || len(two) != 2 || two[0].Name != "floatcmp" || two[1].Name != "errdrop" {
+		t.Fatalf("Select order not registry-stable: %v, err %v", two, err)
+	}
+}
+
+// TestDiagnosticsSorted verifies Run's position ordering on a fixture
+// with findings across several lines.
+func TestDiagnosticsSorted(t *testing.T) {
+	p := parseFixture(t, "floatcmp", "fix/floatcmp")
+	diags := p.Run([]*Analyzer{FloatCmpAnalyzer})
+	if len(diags) < 2 {
+		t.Fatalf("fixture too small to test ordering: %d findings", len(diags))
+	}
+	sorted := sort.SliceIsSorted(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	if !sorted {
+		t.Errorf("diagnostics not sorted by position: %v", diags)
+	}
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer flags == and != between floating-point (or complex)
+// operands. The SBD and shape-extraction math (Eq. 9, 13–15) converges
+// through epsilon-tolerant checks; an exact comparison silently turns a
+// tolerance into a bitwise test and breaks reproducibility across
+// FMA/SIMD code paths.
+//
+// Exemptions:
+//   - comparisons against math.Inf(...) — ±Inf sentinels are exact by
+//     construction;
+//   - _test.go files — exact-copy assertions ("output equals the bytes
+//     the reference run produced") are legitimate there;
+//   - //lint:ignore floatcmp <reason> for deliberate exact comparisons
+//     (e.g. degenerate-range guards before a division).
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "disallow ==/!= on floating-point operands; use an epsilon tolerance",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isTestFile(p.Fset, be.Pos()) {
+				return true
+			}
+			if !isFloatExpr(p.TypesInfo, be.X) && !isFloatExpr(p.TypesInfo, be.Y) {
+				return true
+			}
+			if isInfSentinel(p.TypesInfo, be.X) || isInfSentinel(p.TypesInfo, be.Y) {
+				return true
+			}
+			p.Reportf(be.Pos(), "floating-point %s comparison; use an epsilon tolerance (or //lint:ignore floatcmp <reason> if exactness is intended)", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isInfSentinel reports whether e is a direct math.Inf(...) call —
+// comparing against an infinity sentinel is exact by construction.
+func isInfSentinel(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	_, ok = pkgFunc(info, call, "math", "Inf")
+	return ok
+}

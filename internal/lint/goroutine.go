@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineAnalyzer keeps all fan-out inside the deterministic pool:
+// outside kshape/internal/par, `go` statements and raw sync.WaitGroup
+// plumbing are banned. PR 2's determinism guarantees (order-preserving
+// reductions, smallest-index tie-breaks, worker-count-invariant kernel
+// counters) hold only because every parallel loop goes through par.For /
+// par.Sum / par.ArgMin; a bare goroutine reintroduces scheduling order
+// as an input.
+var GoroutineAnalyzer = &Analyzer{
+	Name: "goroutine",
+	Doc:  "disallow go statements and raw sync.WaitGroup outside internal/par",
+	Run:  runGoroutine,
+}
+
+// parPkgPath is the one package allowed to spawn goroutines: the
+// deterministic worker pool everything else is built on.
+const parPkgPath = "kshape/internal/par"
+
+func runGoroutine(p *Pass) {
+	if p.PkgPath == parPkgPath {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if !isTestFile(p.Fset, n.Pos()) {
+					p.Reportf(n.Pos(), "go statement outside internal/par; use par.For or a par.Pool so execution stays deterministic")
+				}
+			case *ast.Ident:
+				if isTestFile(p.Fset, n.Pos()) {
+					return true
+				}
+				if obj := p.TypesInfo.Uses[n]; obj != nil {
+					if tn, ok := obj.(*types.TypeName); ok && tn.Pkg() != nil &&
+						tn.Pkg().Path() == "sync" && tn.Name() == "WaitGroup" {
+						p.Reportf(n.Pos(), "raw sync.WaitGroup outside internal/par; fan-out must flow through the deterministic pool")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

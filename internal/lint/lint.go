@@ -1,0 +1,285 @@
+// Package lint is the repo's static-analysis subsystem: a stdlib-only
+// (go/parser, go/ast, go/types, go/importer — no x/tools) framework that
+// loads and type-checks every package and runs a registry of analyzers,
+// each enforcing an invariant the compiler cannot check but the paper's
+// results depend on:
+//
+//	floatcmp  — no ==/!= on floating-point operands (Eq. 9, 13–15
+//	            convergence checks must be epsilon-tolerant)
+//	detrand   — no wall-clock or ambient randomness in library code
+//	            (bit-determinism of the accuracy tables)
+//	goroutine — all fan-out flows through the deterministic pool in
+//	            internal/par (order-preserving reductions)
+//	maporder  — no unordered map iteration feeding an output
+//	errdrop   — no silently discarded error returns
+//
+// Diagnostics carry a stable check ID and are suppressible with
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory: a suppression without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a stable check ID, a position, and a
+// human-readable message.
+type Diagnostic struct {
+	Check    string         `json:"check"`
+	Position token.Position `json:"position"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Check, d.Message)
+}
+
+// Analyzer is one registered check. Run inspects the package held by the
+// Pass and reports findings through Pass.Reportf.
+type Analyzer struct {
+	Name string // stable check ID, e.g. "floatcmp"
+	Doc  string // one-line description shown by -list
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full registry in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		FloatCmpAnalyzer,
+		DetRandAnalyzer,
+		GoroutineAnalyzer,
+		MapOrderAnalyzer,
+		ErrDropAnalyzer,
+	}
+}
+
+// Select resolves enable/disable comma-lists against the registry.
+// enable == "" or "all" selects every analyzer; names must exist.
+func Select(enable, disable string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	picked := map[string]bool{}
+	if enable == "" || enable == "all" {
+		for name := range byName {
+			picked[name] = true
+		}
+	} else {
+		for _, name := range splitList(enable) {
+			if byName[name] == nil {
+				return nil, fmt.Errorf("lint: unknown check %q", name)
+			}
+			picked[name] = true
+		}
+	}
+	for _, name := range splitList(disable) {
+		if byName[name] == nil {
+			return nil, fmt.Errorf("lint: unknown check %q", name)
+		}
+		delete(picked, name)
+	}
+	var out []*Analyzer
+	for _, a := range Analyzers() { // registry order keeps output stable
+		if picked[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the import path used for path-scoped exemptions
+	// (e.g. goroutine permits `go` statements only in kshape/internal/par).
+	// It is Pkg.Path() under the real loader but overridable in fixtures.
+	PkgPath string
+
+	check  string
+	report func(Diagnostic)
+}
+
+// Reportf records a finding for the analyzer currently running.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:    p.check,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the given analyzers over the package, applies
+// //lint:ignore suppressions, and returns surviving diagnostics sorted by
+// position. Malformed directives (unknown check, missing reason) are
+// returned as diagnostics under the "ignore" pseudo-check.
+func (p *Pass) Run(analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	p.report = func(d Diagnostic) { raw = append(raw, d) }
+	for _, a := range analyzers {
+		p.check = a.Name
+		a.Run(p)
+	}
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	dirs, bad := parseIgnores(p.Fset, p.Files, known)
+	out := append([]Diagnostic(nil), bad...)
+	for _, d := range raw {
+		if !dirs.suppresses(d) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+// ignoreSet indexes //lint:ignore directives by file and line. A
+// directive at line L suppresses matching diagnostics on L (trailing
+// comment) and L+1 (comment above the statement).
+type ignoreSet map[string]map[int][]string // filename -> line -> check IDs
+
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	lines := s[d.Position.Filename]
+	for _, line := range []int{d.Position.Line, d.Position.Line - 1} {
+		for _, check := range lines[line] {
+			if check == d.Check || check == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+func parseIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool) (ignoreSet, []Diagnostic) {
+	dirs := ignoreSet{}
+	var bad []Diagnostic
+	malformed := func(pos token.Pos, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Check:    "ignore",
+			Position: fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed(c.Pos(), "malformed directive %q: want //lint:ignore <check>[,<check>...] <reason>", c.Text)
+					continue
+				}
+				checks := splitList(fields[0])
+				ok := true
+				for _, check := range checks {
+					if check != "all" && !known[check] {
+						malformed(c.Pos(), "unknown check %q in ignore directive", check)
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				if dirs[p.Filename] == nil {
+					dirs[p.Filename] = map[int][]string{}
+				}
+				dirs[p.Filename][p.Line] = append(dirs[p.Filename][p.Line], checks...)
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// ---- shared type/AST helpers used by the analyzers ----
+
+// pkgFunc reports whether the call expression invokes the package-level
+// function path.name (resolved through go/types, so import aliases are
+// handled), returning the object's name on a match with any name in names.
+func pkgFunc(info *types.Info, call *ast.CallExpr, path string, names ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != path {
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false // method on a type from that package, not a package-level func
+	}
+	if len(names) == 0 {
+		return obj.Name(), true
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+// namedPath returns the full path.Name of the (possibly pointered) named
+// type, or "" when t is not a named type.
+func namedPath(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// isTestFile reports whether the file containing pos is a _test.go file.
+// The analyzers exempt test code: exact-copy assertions, benchmark
+// timing, and race-test goroutines are all legitimate there.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

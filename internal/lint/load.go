@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Load resolves the given `go list` patterns (e.g. "./..."), parses and
+// type-checks every in-module package in dependency order, and returns
+// them ready for analysis. Only the go toolchain and the standard
+// library are involved: module packages are type-checked from source
+// here, standard-library imports come from go/importer.
+//
+// Test files are deliberately excluded: the analyzers exempt test code,
+// so loading it would only cost time.
+func Load(fset *token.FileSet, dir string, patterns []string) ([]*Package, error) {
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	local := map[string]*types.Package{}
+	imp := &moduleImporter{
+		local:    local,
+		std:      importer.Default(),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	var out []*Package
+	for _, m := range metas {
+		pkg, err := check(fset, imp, m)
+		if err != nil {
+			return nil, err
+		}
+		local[m.ImportPath] = pkg.Types
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+type pkgMeta struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+}
+
+// goList shells out to `go list -deps -json`, which emits packages in
+// dependency order (imports before importers) — exactly the order the
+// type-checker needs. Standard-library entries are dropped; they load
+// through go/importer instead.
+func goList(dir string, patterns []string) ([]pkgMeta, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,GoFiles,Standard"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %w", err)
+	}
+	var metas []pkgMeta
+	dec := json.NewDecoder(outPipe)
+	for {
+		var m pkgMeta
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: go list output: %w", err)
+		}
+		if !m.Standard {
+			metas = append(metas, m)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %w\n%s", err, strings.TrimSpace(stderr.String()))
+	}
+	return metas, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, m pkgMeta) (*Package, error) {
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(m.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", m.ImportPath, err)
+	}
+	return &Package{ImportPath: m.ImportPath, Dir: m.Dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// NewTypesInfo allocates the maps the analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// moduleImporter resolves module-local packages from the already
+// type-checked set, standard-library packages through the compiled
+// export data, and anything the export data cannot serve from source.
+type moduleImporter struct {
+	local    map[string]*types.Package
+	std      types.Importer
+	fallback types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m.local[path]; ok {
+		return pkg, nil
+	}
+	if pkg, err := m.std.Import(path); err == nil {
+		return pkg, nil
+	}
+	return m.fallback.Import(path)
+}
+
+// Pass builds the analysis pass for a loaded package.
+func (pkg *Package) Pass(fset *token.FileSet) *Pass {
+	return &Pass{
+		Fset:      fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		PkgPath:   pkg.ImportPath,
+	}
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrderAnalyzer flags `range` over a map when the loop body is
+// order-sensitive: it appends to a slice, writes through an io.Writer /
+// fmt.Fprint*, or concatenates strings. Go randomizes map iteration
+// order per run, so any such loop makes output differ between otherwise
+// identical invocations — exactly the nondeterminism that once made
+// repeated `figures` runs emit different SVG bytes.
+//
+// The one recognized idiom is key collection: a body that is exactly
+// `keys = append(keys, k)` is permitted provided the enclosing function
+// also sorts that slice (sort.* or slices.Sort*) — collect-then-sort is
+// the sanctioned way to iterate a map deterministically. Order-blind
+// bodies (counting, summing, min/max folds) are not flagged.
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "disallow order-sensitive bodies under range-over-map unless keys are sorted",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		// Function bodies, innermost-last, so a RangeStmt can find its
+		// tightest enclosing function for the collect-then-sort search.
+		var fns []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				fns = append(fns, n)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || isTestFile(p.Fset, rs.Pos()) {
+				return true
+			}
+			tv, ok := p.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if keysVar := keyCollectionTarget(p.TypesInfo, rs); keysVar != nil {
+				if !sortedInFunc(p.TypesInfo, enclosingFunc(fns, rs), keysVar) {
+					p.Reportf(rs.Pos(), "map keys collected into %q but never sorted; sort before use so iteration order cannot leak into output", keysVar.Name())
+				}
+				return true
+			}
+			if sink := orderSensitiveSink(p.TypesInfo, rs.Body); sink != "" {
+				p.Reportf(rs.Pos(), "range over map with an order-sensitive body (%s); iterate sorted keys instead", sink)
+			}
+			return true
+		})
+	}
+}
+
+// keyCollectionTarget recognizes the one-statement idiom
+// `keys = append(keys, k)` (k being the range key) and returns the
+// slice variable, or nil when the body is anything else.
+func keyCollectionTarget(info *types.Info, rs *ast.RangeStmt) *types.Var {
+	keyIdent, ok := rs.Key.(*ast.Ident)
+	if !ok || len(rs.Body.List) != 1 {
+		return nil
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return nil
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	if _, ok := info.Uses[fn].(*types.Builtin); !ok {
+		return nil
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	if !ok || objOf(info, dst) == nil || objOf(info, dst) != objOf(info, lhs) {
+		return nil
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok || objOf(info, arg) == nil || objOf(info, arg) != objOf(info, keyIdent) {
+		return nil
+	}
+	v, _ := objOf(info, lhs).(*types.Var)
+	return v
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// enclosingFunc returns the tightest FuncDecl/FuncLit containing n.
+func enclosingFunc(fns []ast.Node, n ast.Node) ast.Node {
+	var best ast.Node
+	for _, fn := range fns {
+		if fn.Pos() <= n.Pos() && n.End() <= fn.End() {
+			if best == nil || fn.Pos() >= best.Pos() {
+				best = fn
+			}
+		}
+	}
+	return best
+}
+
+// sortedInFunc reports whether fn contains a sort.* / slices.Sort* call
+// whose first argument is the given variable.
+func sortedInFunc(info *types.Info, fn ast.Node, v *types.Var) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || len(call.Args) == 0 {
+			return true
+		}
+		_, isSort := pkgFunc(info, call, "sort", "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable")
+		if !isSort {
+			_, isSort = pkgFunc(info, call, "slices", "Sort", "SortFunc", "SortStableFunc")
+		}
+		if !isSort {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && objOf(info, id) == types.Object(v) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// orderSensitiveSink scans a range body for constructs whose effect
+// depends on iteration order, returning a description or "".
+func orderSensitiveSink(info *types.Info, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn, ok := n.Fun.(*ast.Ident); ok && fn.Name == "append" {
+				if _, ok := info.Uses[fn].(*types.Builtin); ok {
+					sink = "append"
+					return false
+				}
+			}
+			if name, ok := pkgFunc(info, n, "fmt"); ok {
+				sink = "fmt." + name
+				return false
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Write", "WriteString", "WriteByte", "WriteRune":
+					sink = "write to " + sel.Sel.Name
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			sink = "channel send"
+			return false
+		case *ast.AssignStmt:
+			// String concatenation accumulates in iteration order.
+			if n.Tok.String() == "+=" && len(n.Lhs) == 1 {
+				if tv, ok := info.Types[n.Lhs[0]]; ok && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						sink = "string concatenation"
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}

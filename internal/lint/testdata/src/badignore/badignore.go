@@ -1,0 +1,20 @@
+// Package badignore holds malformed suppression directives. Each is
+// reported under the "ignore" pseudo-check and suppresses nothing; the
+// harness asserts the exact lines from test code because a // want
+// comment cannot share a line with the directive it describes.
+package badignore
+
+func missingReason(a, b float64) bool {
+	//lint:ignore floatcmp
+	return a == b // line 9: still reported, the directive above is void
+}
+
+func unknownCheck(a, b float64) bool {
+	//lint:ignore nosuchcheck the check ID does not exist
+	return a == b // line 14: still reported
+}
+
+func bareDirective(a, b float64) bool {
+	//lint:ignore
+	return a == b // line 19: still reported
+}

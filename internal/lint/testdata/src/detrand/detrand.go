@@ -1,0 +1,28 @@
+// Package detrand seeds wall-clock reads and global-rand draws
+// (violations) next to the seeded, threaded randomness the analyzer
+// permits.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now()         // want "\[detrand\] time.Now outside internal/obs"
+	_ = time.Since(start)       // want "\[detrand\] time.Since outside internal/obs"
+	_ = time.Until(start)       // want "\[detrand\] time.Until outside internal/obs"
+	return 5 * time.Millisecond // the time package's types and constants are fine
+}
+
+func globalRand() float64 {
+	_ = rand.Intn(10)                  // want "\[detrand\] global rand.Intn draws from the shared math/rand source"
+	rand.Shuffle(3, func(i, j int) {}) // want "\[detrand\] global rand.Shuffle draws from the shared math/rand source"
+	return rand.Float64()              // want "\[detrand\] global rand.Float64 draws from the shared math/rand source"
+}
+
+func seededRand() float64 {
+	rng := rand.New(rand.NewSource(1)) // constructors take an explicit seed: allowed
+	_ = rng.Intn(10)                   // methods on a threaded *rand.Rand: allowed
+	return rng.Float64()
+}

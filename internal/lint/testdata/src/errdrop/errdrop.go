@@ -1,0 +1,51 @@
+// Package errdrop seeds silently discarded error returns (violations)
+// next to the allowlisted terminal writes, infallible in-memory writers,
+// and explicit discards.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+type report struct {
+	strings.Builder // embedding makes the wrapper infallible too
+}
+
+func violations(w io.Writer, f *os.File) {
+	fmt.Fprintln(w, "hello") // want "\[errdrop\] error returned by fmt.Fprintln is silently discarded"
+	f.Sync()                 // want "\[errdrop\] error returned by f.Sync is silently discarded"
+	f.Close()                // want "\[errdrop\] error returned by f.Close is silently discarded"
+	io.WriteString(w, "x")   // want "\[errdrop\] error returned by io.WriteString is silently discarded"
+	os.Remove("gone")        // want "\[errdrop\] error returned by os.Remove is silently discarded"
+}
+
+func allowlisted(b *strings.Builder, buf *bytes.Buffer, r *report) {
+	fmt.Println("terminal")                // fmt.Print* writes to stdout
+	fmt.Printf("%d\n", 1)                  //
+	fmt.Fprintf(os.Stdout, "stdout\n")     // explicit stdout
+	fmt.Fprintln(os.Stderr, "stderr")      // explicit stderr
+	fmt.Fprintf(b, "in-memory %d\n", 2)    // strings.Builder cannot fail
+	fmt.Fprintf(buf, "in-memory %d\n", 3)  // bytes.Buffer cannot fail
+	fmt.Fprintf(r, "embedded builder\n")   // embedding propagates infallibility
+	b.WriteString("documented nil error")  // Builder methods document err == nil
+	buf.WriteByte('x')                     // Buffer methods likewise
+	r.WriteString("promoted from Builder") // promoted methods too
+}
+
+func explicitDiscard(f *os.File) {
+	_ = f.Close()   // visible, reviewable intent: allowed
+	defer f.Close() // deferred cleanup: allowed
+	n, _ := f.Seek(0, 0)
+	_ = n
+}
+
+func handled(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+// Package floatcmp seeds exact floating-point comparisons (violations)
+// next to the comparisons the analyzer must leave alone.
+package floatcmp
+
+import "math"
+
+func violations(a, b float64, c float32, z complex128) bool {
+	if a == b { // want "\[floatcmp\] floating-point == comparison"
+		return true
+	}
+	if a != 0 { // want "\[floatcmp\] floating-point != comparison"
+		return true
+	}
+	if c == 1.5 { // want "\[floatcmp\] floating-point == comparison"
+		return true
+	}
+	if z == 0 { // want "\[floatcmp\] floating-point == comparison"
+		return true
+	}
+	return a+1 == b*2 // want "\[floatcmp\] floating-point == comparison"
+}
+
+func clean(a, b float64, i, j int, s, t string) bool {
+	if i == j { // integers compare exactly
+		return true
+	}
+	if s != t { // strings compare exactly
+		return true
+	}
+	if a == math.Inf(1) { // ±Inf sentinels are exact by construction
+		return true
+	}
+	if math.Inf(-1) == b {
+		return true
+	}
+	if math.Abs(a-b) < 1e-9 { // the sanctioned epsilon form
+		return true
+	}
+	return a < b // ordering comparisons are fine
+}

@@ -1,0 +1,29 @@
+// Package goroutine seeds raw concurrency primitives (violations) next
+// to the sync types the analyzer permits everywhere.
+package goroutine
+
+import "sync"
+
+func spawn(work func()) {
+	go work() // want "\[goroutine\] go statement outside internal/par"
+}
+
+func fanOut(fns []func()) {
+	var wg sync.WaitGroup // want "\[goroutine\] raw sync.WaitGroup outside internal/par"
+	for _, fn := range fns {
+		wg.Add(1)
+		go func() { // want "\[goroutine\] go statement outside internal/par"
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}
+
+func clean() {
+	var mu sync.Mutex // Mutex and Once are not fan-out: allowed
+	var once sync.Once
+	mu.Lock()
+	once.Do(func() {})
+	mu.Unlock()
+}

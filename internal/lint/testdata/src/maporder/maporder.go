@@ -1,0 +1,78 @@
+// Package maporder seeds order-sensitive range-over-map loops
+// (violations) next to the order-blind folds and the sanctioned
+// collect-then-sort idiom.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func appendUnderRange(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want "\[maporder\] range over map with an order-sensitive body \(append\)"
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+func printUnderRange(m map[string]int, w io.Writer) {
+	for k := range m { // want "\[maporder\] range over map with an order-sensitive body \(fmt.Fprintln\)"
+		fmt.Fprintln(w, k)
+	}
+}
+
+func writeUnderRange(m map[string]int, b *strings.Builder) {
+	for k := range m { // want "\[maporder\] range over map with an order-sensitive body \(write to WriteString\)"
+		b.WriteString(k)
+	}
+}
+
+func concatUnderRange(m map[string]int) string {
+	s := ""
+	for k := range m { // want "\[maporder\] range over map with an order-sensitive body \(string concatenation\)"
+		s += k
+	}
+	return s
+}
+
+func sendUnderRange(m map[string]int, ch chan string) {
+	for k := range m { // want "\[maporder\] range over map with an order-sensitive body \(channel send\)"
+		ch <- k
+	}
+}
+
+func collectedButNeverSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "\[maporder\] map keys collected into \"keys\" but never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // the sanctioned idiom: collect, then sort
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func orderBlindFold(m map[string]int) int {
+	total := 0
+	for _, v := range m { // summation is order-blind: allowed
+		total += v
+	}
+	return total
+}
+
+func rangeOverSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs { // slices iterate in index order: allowed
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+// Package suppress exercises the //lint:ignore machinery: directives on
+// the offending line and the line above, multi-check lists, and the
+// "all" wildcard. A directive for the wrong check must not suppress.
+package suppress
+
+import "math/rand"
+
+func suppressedAbove(a, b float64) bool {
+	//lint:ignore floatcmp exactness is the point of this fixture
+	return a == b
+}
+
+func suppressedTrailing(a, b float64) bool {
+	return a == b //lint:ignore floatcmp trailing-comment placement works too
+}
+
+func suppressedMulti(a, b float64) float64 {
+	//lint:ignore floatcmp,detrand one directive can cover several checks
+	if a == b && rand.Float64() > 0.5 {
+		return 1
+	}
+	return 0
+}
+
+func suppressedAll(work func()) {
+	//lint:ignore all the wildcard silences every check on the next line
+	go work()
+}
+
+func wrongCheckDoesNotSuppress(a, b float64) bool {
+	//lint:ignore errdrop a directive for a different check must not silence floatcmp
+	return a == b // want "\[floatcmp\] floating-point == comparison"
+}
+
+func farDirectiveDoesNotSuppress(a, b float64) bool {
+	//lint:ignore floatcmp a directive two lines up is out of range
+
+	return a == b // want "\[floatcmp\] floating-point == comparison"
+}

@@ -1,0 +1,44 @@
+// Package testexempt holds every category of violation inside a
+// _test.go file, where all five analyzers must stay silent: exact-copy
+// assertions, benchmark timing, and race-test goroutines are legitimate
+// in tests.
+package testexempt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+func exactAssertion(got, want float64) bool {
+	return got == want
+}
+
+func benchmarkTiming() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func ambientRand() int {
+	return rand.Intn(10)
+}
+
+func raceProbe(fns []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}
+
+func goldenDump(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

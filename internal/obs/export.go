@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -22,35 +23,37 @@ import (
 // format (version 0.0.4): the nine kernel counters as one counter family
 // labeled by kernel, the gauges, the per-cluster occupancy of the last
 // run, and one histogram family labeled by phase with cumulative buckets
-// in seconds.
-func WritePrometheus(w io.Writer) {
+// in seconds. The exposition is built in memory and emitted with one
+// checked write, so a scrape is either complete or reports its error.
+func WritePrometheus(dst io.Writer) error {
+	var w strings.Builder
 	c := ReadCounters()
-	fmt.Fprintln(w, "# HELP kshape_kernel_ops_total Kernel operation counts (FFT transforms, distance evaluations, eigensolver iterations, reseeds).")
-	fmt.Fprintln(w, "# TYPE kshape_kernel_ops_total counter")
+	fmt.Fprintln(&w, "# HELP kshape_kernel_ops_total Kernel operation counts (FFT transforms, distance evaluations, eigensolver iterations, reseeds).")
+	fmt.Fprintln(&w, "# TYPE kshape_kernel_ops_total counter")
 	c.Each(func(name string, v int64) {
-		fmt.Fprintf(w, "kshape_kernel_ops_total{kernel=%q} %d\n", name, v)
+		fmt.Fprintf(&w, "kshape_kernel_ops_total{kernel=%q} %d\n", name, v)
 	})
 
-	fmt.Fprintln(w, "# HELP kshape_telemetry_enabled Whether kernel counting and histogram collection are on.")
-	fmt.Fprintln(w, "# TYPE kshape_telemetry_enabled gauge")
-	fmt.Fprintf(w, "kshape_telemetry_enabled %d\n", boolToInt(Enabled()))
+	fmt.Fprintln(&w, "# HELP kshape_telemetry_enabled Whether kernel counting and histogram collection are on.")
+	fmt.Fprintln(&w, "# TYPE kshape_telemetry_enabled gauge")
+	fmt.Fprintf(&w, "kshape_telemetry_enabled %d\n", boolToInt(Enabled()))
 
 	for g := Gauge(0); g < numGauges; g++ {
 		name := "kshape_" + g.String()
-		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
-		fmt.Fprintf(w, "%s %d\n", name, ReadGauge(g))
+		fmt.Fprintf(&w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(&w, "%s %d\n", name, ReadGauge(g))
 	}
 
 	if sizes := LastClusterSizes(); len(sizes) > 0 {
-		fmt.Fprintln(w, "# HELP kshape_cluster_size Cluster occupancy of the most recently finished run.")
-		fmt.Fprintln(w, "# TYPE kshape_cluster_size gauge")
+		fmt.Fprintln(&w, "# HELP kshape_cluster_size Cluster occupancy of the most recently finished run.")
+		fmt.Fprintln(&w, "# TYPE kshape_cluster_size gauge")
 		for j, s := range sizes {
-			fmt.Fprintf(w, "kshape_cluster_size{cluster=\"%d\"} %d\n", j, s)
+			fmt.Fprintf(&w, "kshape_cluster_size{cluster=\"%d\"} %d\n", j, s)
 		}
 	}
 
-	fmt.Fprintln(w, "# HELP kshape_phase_duration_seconds Latency of the instrumented hot phases.")
-	fmt.Fprintln(w, "# TYPE kshape_phase_duration_seconds histogram")
+	fmt.Fprintln(&w, "# HELP kshape_phase_duration_seconds Latency of the instrumented hot phases.")
+	fmt.Fprintln(&w, "# TYPE kshape_phase_duration_seconds histogram")
 	for _, h := range PhaseHistograms() {
 		cum := int64(0)
 		for i, n := range h.Buckets {
@@ -59,17 +62,19 @@ func WritePrometheus(w io.Writer) {
 			if b := BucketBound(i); b >= 0 {
 				le = strconv.FormatFloat(float64(b)/1e9, 'g', -1, 64)
 			}
-			fmt.Fprintf(w, "kshape_phase_duration_seconds_bucket{phase=%q,le=%q} %d\n", h.Name, le, cum)
+			fmt.Fprintf(&w, "kshape_phase_duration_seconds_bucket{phase=%q,le=%q} %d\n", h.Name, le, cum)
 		}
-		fmt.Fprintf(w, "kshape_phase_duration_seconds_sum{phase=%q} %g\n", h.Name, float64(h.SumNS)/1e9)
-		fmt.Fprintf(w, "kshape_phase_duration_seconds_count{phase=%q} %d\n", h.Name, h.Count)
+		fmt.Fprintf(&w, "kshape_phase_duration_seconds_sum{phase=%q} %g\n", h.Name, float64(h.SumNS)/1e9)
+		fmt.Fprintf(&w, "kshape_phase_duration_seconds_count{phase=%q} %d\n", h.Name, h.Count)
 	}
 
-	fmt.Fprintln(w, "# HELP kshape_build_info Build metadata; the value is always 1.")
-	fmt.Fprintln(w, "# TYPE kshape_build_info gauge")
+	fmt.Fprintln(&w, "# HELP kshape_build_info Build metadata; the value is always 1.")
+	fmt.Fprintln(&w, "# TYPE kshape_build_info gauge")
 	info := BuildInfo()
-	fmt.Fprintf(w, "kshape_build_info{version=%q,revision=%q,go=%q} 1\n",
+	fmt.Fprintf(&w, "kshape_build_info{version=%q,revision=%q,go=%q} 1\n",
 		info["version"], info["revision"], info["go"])
+	_, err := io.WriteString(dst, w.String())
+	return err
 }
 
 func boolToInt(b bool) int {
@@ -83,7 +88,9 @@ func boolToInt(b bool) int {
 func MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WritePrometheus(w)
+		// A scrape whose connection died mid-write has no recovery path;
+		// the next scrape starts fresh.
+		_ = WritePrometheus(w)
 	})
 }
 
@@ -128,7 +135,9 @@ func NewTelemetryMux() *http.ServeMux {
 	mux.Handle("/metrics", MetricsHandler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.3f,\"telemetry_enabled\":%v,\"version\":%q}\n",
+		// Probe responses are best-effort: a prober that hung up mid-read
+		// will simply retry.
+		_, _ = fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.3f,\"telemetry_enabled\":%v,\"version\":%q}\n",
 			time.Since(started).Seconds(), Enabled(), Version())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -156,7 +165,10 @@ func ServeTelemetry(addr string) (*TelemetryServer, error) {
 		return nil, fmt.Errorf("obs: telemetry listener: %w", err)
 	}
 	srv := &http.Server{Handler: NewTelemetryMux()}
-	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	// Serve returns ErrServerClosed on Close; nothing clustering-related
+	// flows through this goroutine, so determinism is unaffected.
+	//lint:ignore goroutine telemetry HTTP server lifetime, not data-path fan-out
+	go srv.Serve(ln)
 	return &TelemetryServer{ln: ln, srv: srv}, nil
 }
 

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStopwatchMonotone(t *testing.T) {
+	sw := NewStopwatch()
+	time.Sleep(5 * time.Millisecond)
+	ns1 := sw.ElapsedNS()
+	if ns1 < (1 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("ElapsedNS = %d, want at least ~5ms worth", ns1)
+	}
+	ns2 := sw.ElapsedNS()
+	if ns2 < ns1 {
+		t.Fatalf("elapsed went backwards: %d then %d", ns1, ns2)
+	}
+	if d := sw.Elapsed(); d.Nanoseconds() < ns1 {
+		t.Fatalf("Elapsed() = %v shorter than earlier ElapsedNS %d", d, ns1)
+	}
+	if s := sw.Seconds(); s <= 0 {
+		t.Fatalf("Seconds() = %v, want positive", s)
+	}
+}

@@ -1,6 +1,7 @@
 package plot
 
 import (
+	"bytes"
 	"encoding/xml"
 	"strings"
 	"testing"
@@ -105,5 +106,26 @@ func TestSortedKeys(t *testing.T) {
 	got := sortedKeys(map[string][]float64{"b": nil, "a": nil, "c": nil})
 	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
 		t.Errorf("sortedKeys = %v", got)
+	}
+}
+
+// TestLinesDeterministicBytes regression-tests the map-iteration fix in
+// sortedKeys: a multi-series Lines chart (series delivered via a map)
+// must render to byte-identical SVG on every call. Before keys were
+// sorted, Go's randomized map order could swap the polyline sequence and
+// legend between runs.
+func TestLinesDeterministicBytes(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	series := map[string][]float64{
+		"k-Shape":  {1, 2, 3, 4},
+		"k-AVG+ED": {4, 3, 2, 1},
+		"KSC":      {2, 2, 2, 2},
+		"k-DBA":    {1, 3, 1, 3},
+	}
+	first := Lines("determinism", "x", "y", x, series)
+	for i := 0; i < 10; i++ {
+		if got := Lines("determinism", "x", "y", x, series); !bytes.Equal(got, first) {
+			t.Fatalf("render %d differs from first render:\n%s\nvs\n%s", i, got, first)
+		}
 	}
 }

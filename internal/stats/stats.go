@@ -25,6 +25,7 @@ func Ranks(values []float64) []float64 {
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		//lint:ignore floatcmp exact tie detection for average-rank assignment
 		for j+1 < n && values[idx[j+1]] == values[idx[i]] {
 			j++
 		}
@@ -65,6 +66,7 @@ func Wilcoxon(a, b []float64) WilcoxonResult {
 	}
 	var diffs []float64
 	for i := range a {
+		//lint:ignore floatcmp exactly zero differences are dropped by the signed-rank convention
 		if d := a[i] - b[i]; d != 0 {
 			diffs = append(diffs, d)
 		}
@@ -109,6 +111,7 @@ func tieCorrection(values []float64) float64 {
 	total := 0.0
 	for i := 0; i < len(sorted); {
 		j := i
+		//lint:ignore floatcmp exact tie detection for average-rank assignment
 		for j+1 < len(sorted) && sorted[j+1] == sorted[i] {
 			j++
 		}
@@ -207,6 +210,7 @@ func upperGammaRegularized(s, x float64) float64 {
 	if x < 0 || s <= 0 {
 		return math.NaN()
 	}
+	//lint:ignore floatcmp exact zero argument short-circuits the series expansion
 	if x == 0 {
 		return 1
 	}

@@ -42,6 +42,7 @@ func PairedTTest(a, b []float64) TTestResult {
 		ss += d * d
 	}
 	variance := ss / float64(n-1)
+	//lint:ignore floatcmp exact zero-variance guard before dividing by it
 	if variance == 0 {
 		return TTestResult{DF: n - 1, P: 1}
 	}
@@ -70,9 +71,11 @@ func RegularizedIncompleteBeta(a, b, x float64) float64 {
 	if x < 0 || x > 1 || a <= 0 || b <= 0 {
 		return math.NaN()
 	}
+	//lint:ignore floatcmp exact domain-boundary guard of the incomplete beta function
 	if x == 0 {
 		return 0
 	}
+	//lint:ignore floatcmp exact domain-boundary guard of the incomplete beta function
 	if x == 1 {
 		return 1
 	}

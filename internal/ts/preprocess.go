@@ -65,6 +65,7 @@ func Detrend(x []float64) []float64 {
 		den += dt * dt
 	}
 	slope := 0.0
+	//lint:ignore floatcmp exact zero-denominator guard
 	if den != 0 {
 		slope = num / den
 	}

@@ -102,6 +102,7 @@ func ZNormalize(x []float64) []float64 {
 	out := make([]float64, len(x))
 	mu := Mean(x)
 	sd := Std(x)
+	//lint:ignore floatcmp exact zero-variance guard; constant series stay constant
 	if sd == 0 {
 		return out // all zeros
 	}
@@ -115,6 +116,7 @@ func ZNormalize(x []float64) []float64 {
 func ZNormalizeInPlace(x []float64) []float64 {
 	mu := Mean(x)
 	sd := Std(x)
+	//lint:ignore floatcmp exact zero-variance guard; constant series stay constant
 	if sd == 0 {
 		for i := range x {
 			x[i] = 0
@@ -158,6 +160,7 @@ func Normalize01(x []float64) []float64 {
 			hi = v
 		}
 	}
+	//lint:ignore floatcmp exact degenerate-range guard before dividing by the span
 	if hi == lo {
 		return out
 	}
@@ -176,6 +179,7 @@ func OptimalScale(x, y []float64) float64 {
 		panic(fmt.Sprintf("ts: OptimalScale length mismatch %d vs %d", len(x), len(y)))
 	}
 	den := Dot(y, y)
+	//lint:ignore floatcmp exact zero-denominator guard
 	if den == 0 {
 		return 0
 	}

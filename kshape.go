@@ -22,7 +22,6 @@ import (
 	"log/slog"
 	"math"
 	"math/rand"
-	"time"
 
 	"kshape/internal/avg"
 	"kshape/internal/cluster"
@@ -150,7 +149,7 @@ func Cluster(data [][]float64, k int, opts Options) (*Result, error) {
 	var trace *RunTrace
 	var countersBefore obs.Counters
 	var wasCounting bool
-	var started time.Time
+	var sw obs.Stopwatch
 	if opts.CollectTrace {
 		trace = &RunTrace{Method: name}
 		userIter := onIter
@@ -162,7 +161,7 @@ func Cluster(data [][]float64, k int, opts Options) (*Result, error) {
 		}
 		wasCounting = obs.SetEnabled(true)
 		countersBefore = obs.ReadCounters()
-		started = time.Now()
+		sw = obs.NewStopwatch()
 	}
 	res, err := cluster.Run(c, prepared, k, rng, cluster.Opts{
 		MaxIterations: opts.MaxIterations,
@@ -171,7 +170,7 @@ func Cluster(data [][]float64, k int, opts Options) (*Result, error) {
 		Logger:        opts.Logger,
 	})
 	if opts.CollectTrace {
-		trace.TotalNS = time.Since(started).Nanoseconds()
+		trace.TotalNS = sw.ElapsedNS()
 		trace.Counters = obs.ReadCounters().Sub(countersBefore)
 		obs.SetEnabled(wasCounting)
 	}
