@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test test-short test-race vet lint fmt-check check bench smoke
+.PHONY: build test test-short test-race vet lint fmt-check check bench smoke fuzz golden
 
 build:
 	$(GO) build ./...
@@ -44,10 +44,30 @@ fmt-check:
 smoke:
 	$(GO) test -run TestTelemetrySmoke -count=1 ./cmd/kshape/
 
+# Coverage-guided fuzzing smoke pass: every fuzz target for FUZZTIME
+# (default 10s). The checked-in seed corpora under testdata/fuzz/ also run
+# as plain regression tests during `make test`; this target additionally
+# mutates beyond them. Regenerate the corpora with
+# `go run ./internal/testkit/gencorpus`.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz='^FuzzSBD$$' -fuzztime=$(FUZZTIME) ./internal/dist/
+	$(GO) test -fuzz='^FuzzDTWBand$$' -fuzztime=$(FUZZTIME) ./internal/dist/
+	$(GO) test -fuzz='^FuzzFFTRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/fft/
+	$(GO) test -fuzz='^FuzzZNormalize$$' -fuzztime=$(FUZZTIME) ./internal/ts/
+	$(GO) test -fuzz='^FuzzUCRLoader$$' -fuzztime=$(FUZZTIME) ./internal/dataset/
+
+# Regenerates the golden snapshots (testdata/golden/) after a deliberate,
+# reviewed renderer change. `make test` fails on any byte of drift.
+golden:
+	$(GO) test ./internal/experiments/ ./cmd/kshape/ ./cmd/benchjson/ -run Golden -update
+
 # Pre-commit gate, cheapest first so failures surface early: formatting,
-# go vet, the repo's own analyzers (kshapelint), the full test suite, the
-# race-detector pass over the parallel packages, and the telemetry smoke
-# test, in that order.
+# go vet, the repo's own analyzers (kshapelint), the full test suite
+# (which includes the differential-oracle suite, the golden snapshots, and
+# the fuzz seed corpora as regression tests), the race-detector pass over
+# the parallel packages, and the telemetry smoke test, in that order. Run
+# `make fuzz` separately for the coverage-guided mutation pass.
 check: fmt-check vet lint test test-race smoke
 
 # Runs every benchmark once (including the serial-vs-parallel family with

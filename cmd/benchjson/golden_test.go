@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"kshape/internal/testkit"
+)
+
+// goldenBenchText is a fixed `go test -bench` transcript covering the
+// header lines, a plain result, a result with allocation metrics, and a
+// result carrying the custom speedup / kernel-counter metrics emitted by
+// bench_test.go.
+const goldenBenchText = `goos: linux
+goarch: amd64
+pkg: kshape
+cpu: Example CPU @ 2.40GHz
+BenchmarkSBD-8           	   12345	      9876 ns/op
+BenchmarkShapeExtraction-8	     420	   2847193 ns/op	  524288 B/op	      12 allocs/op
+BenchmarkDistanceMatrixSBDParallel-8	      64	  18234567 ns/op	       6.21 speedup	     132 fft/op	      66 sbd/op
+BenchmarkKShapeCBF
+BenchmarkKShapeCBF-8     	      10	 104857600 ns/op
+PASS
+ok  	kshape	12.345s
+`
+
+// TestGoldenBenchJSON pins the exact JSON report benchjson emits for the
+// fixed transcript above. Build-dependent fields (go version, module
+// version, VCS revision) are overwritten with fixed strings so the golden
+// file is reproducible on any toolchain. Regenerate with
+// `go test ./cmd/benchjson/ -run Golden -update`.
+func TestGoldenBenchJSON(t *testing.T) {
+	rep, err := Parse(strings.NewReader(goldenBenchText))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rep.GoVersion = "go1.99.0"
+	rep.Version = "(devel)"
+	rep.Revision = "0000000000000000000000000000000000000000"
+
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	testkit.Golden(t, "benchjson", b.String())
+}

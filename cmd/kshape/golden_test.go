@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"kshape"
+	"kshape/internal/testkit"
+)
+
+// TestGoldenTrace pins the -trace table layout byte-for-byte: the
+// tabwriter column alignment, the millisecond formatting, and the kernel
+// counter line are all part of the tool's scrapeable output surface.
+// Regenerate with `go test ./cmd/kshape/ -run Golden -update`.
+func TestGoldenTrace(t *testing.T) {
+	tr := &kshape.RunTrace{
+		Method:    "k-Shape",
+		TotalNS:   123_456_789,
+		Converged: true,
+		Iterations: []kshape.IterationStats{
+			{Iteration: 1, Inertia: 41.2345, LabelChurn: 37, ClusterSizes: []int{20, 21, 19}, RefineNS: 31_000_000, AssignNS: 8_500_000, Reseeds: 0},
+			{Iteration: 2, Inertia: 30.1, LabelChurn: 9, ClusterSizes: []int{22, 18, 20}, RefineNS: 29_250_000, AssignNS: 8_000_000, Reseeds: 1},
+			{Iteration: 3, Inertia: 29.8765, LabelChurn: 0, ClusterSizes: []int{22, 18, 20}, RefineNS: 28_000_000, AssignNS: 7_750_000, Reseeds: 0},
+		},
+	}
+	tr.Counters.FFT = 1234
+	tr.Counters.IFFT = 1230
+	tr.Counters.SBD = 615
+	tr.Counters.EigenIterations = 88
+	tr.Counters.EigenDecompositions = 9
+	tr.Counters.ShapeExtractions = 9
+	tr.Counters.Reseeds = 1
+
+	var b bytes.Buffer
+	writeTrace(&b, tr)
+	testkit.Golden(t, "trace", b.String())
+}
+
+// TestGoldenTraceNoCounters pins the "(none)" form emitted when kernel
+// counting was disabled and the trace has no iterations (methods without
+// a refinement loop).
+func TestGoldenTraceNoCounters(t *testing.T) {
+	tr := &kshape.RunTrace{Method: "k-AVG+ED", TotalNS: 2_000_000}
+	var b bytes.Buffer
+	writeTrace(&b, tr)
+	testkit.Golden(t, "trace-empty", b.String())
+}

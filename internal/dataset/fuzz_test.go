@@ -1,0 +1,72 @@
+// Fuzz target for the UCR parser: arbitrary bytes must never panic the
+// loader, and anything it accepts must survive a render/reparse round trip
+// bit-for-bit.
+package dataset_test
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"kshape/internal/dataset"
+)
+
+func FuzzUCRLoader(f *testing.F) {
+	f.Add([]byte("1,0.5,1.5,2.5\n2,3.0,2.0,1.0\n"))
+	f.Add([]byte("1\t0.5\t1.5\n2\t2.5\t3.5\n"))
+	f.Add([]byte("1.0 2 3 4\n"))
+	f.Add([]byte("-1,1e300,-2.5e-10\n"))
+	f.Add([]byte("1,NaN,2\n"))
+	f.Add([]byte("1,2,3\n4,5\n")) // ragged
+	f.Add([]byte(""))
+	f.Add([]byte("label,1,2\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		series, err := dataset.ParseUCR(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are what the target hunts
+		}
+		if len(series) == 0 {
+			t.Fatal("ParseUCR returned no series and no error")
+		}
+		m := series[0].Len()
+		for i, s := range series {
+			if s.Len() != m {
+				t.Fatalf("series %d length %d, others %d — parser accepted ragged input", i, s.Len(), m)
+			}
+			if s.Len() == 0 {
+				t.Fatalf("series %d is empty", i)
+			}
+		}
+		// Round trip: render what was parsed and reparse; labels and values
+		// must come back bit-for-bit ('g'/-1 formatting round-trips float64
+		// exactly).
+		var b strings.Builder
+		for _, s := range series {
+			b.WriteString(strconv.Itoa(s.Label))
+			for _, v := range s.Values {
+				b.WriteByte(',')
+				b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+			b.WriteByte('\n')
+		}
+		again, err := dataset.ParseUCR(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("reparse of rendered output failed: %v\nrendered:\n%s", err, b.String())
+		}
+		if len(again) != len(series) {
+			t.Fatalf("reparse count %d, want %d", len(again), len(series))
+		}
+		for i := range series {
+			if again[i].Label != series[i].Label {
+				t.Fatalf("series %d label %d, want %d", i, again[i].Label, series[i].Label)
+			}
+			for j := range series[i].Values {
+				a, w := again[i].Values[j], series[i].Values[j]
+				if strconv.FormatFloat(a, 'b', -1, 64) != strconv.FormatFloat(w, 'b', -1, 64) {
+					t.Fatalf("series %d value %d: %v, want %v", i, j, a, w)
+				}
+			}
+		}
+	})
+}

@@ -59,7 +59,11 @@ func NCCSequence(x, y []float64, norm NCCNorm) []float64 {
 			cc[i] /= float64(overlap)
 		}
 	case NCCc:
-		den := math.Sqrt(ts.Dot(x, x) * ts.Dot(y, y))
+		// Multiply the norms rather than sqrt-ing the product of the squared
+		// norms: Dot(x,x)·Dot(y,y) underflows to 0 for norms near 1e-100
+		// (denormal ~1e-400), which would misclassify tiny-but-nonzero inputs
+		// as degenerate. This also matches SBDBatch's denominator exactly.
+		den := ts.Norm(x) * ts.Norm(y)
 		//lint:ignore floatcmp exact zero-norm guard before dividing by it
 		if den == 0 {
 			// At least one sequence is identically zero (e.g. a z-normalized
@@ -128,7 +132,11 @@ func sbdImpl(x, y []float64, variant sbdVariant) (float64, []float64) {
 	if m == 0 {
 		return 0, nil
 	}
-	den := math.Sqrt(ts.Dot(x, x) * ts.Dot(y, y))
+	// Norm(x)·Norm(y), not sqrt(Dot·Dot): the product of squared norms
+	// underflows to 0 for norms near 1e-100 even though both norms are
+	// representable, flipping SBD(x,x) from 0 to the degenerate 1. Found by
+	// FuzzSBD (seed tiny-norm-underflow); SBDBatch already multiplies norms.
+	den := ts.Norm(x) * ts.Norm(y)
 	var cc []float64
 	switch variant {
 	case sbdFFTPow2:

@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases for the intrinsic validity indices: hand-computed values on
+// tiny inputs, exact-tie behaviour, and the k = n / single-cluster
+// degeneracies the k-estimation sweep hits at the ends of its range.
+
+// lineMatrix builds the pairwise |xi - xj| distance matrix of points on a
+// line.
+func lineMatrix(xs []float64) [][]float64 {
+	n := len(xs)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = math.Abs(xs[i] - xs[j])
+		}
+	}
+	return d
+}
+
+func TestSilhouetteHandComputed(t *testing.T) {
+	// Points 0, 10, 11, 12 on a line, labels {0,0,1,1}: point 1 sits far
+	// from its own cluster mate and close to cluster 1, so its coefficient
+	// is strongly negative while the others are positive.
+	d := lineMatrix([]float64{0, 10, 11, 12})
+	got := Silhouette(d, []int{0, 0, 1, 1})
+	s0 := (11.5 - 10.0) / 11.5 // a=10, b=(11+12)/2
+	s1 := (1.5 - 10.0) / 10.0  // a=10, b=(1+2)/2
+	s2 := (6.0 - 1.0) / 6.0    // a=1,  b=(11+1)/2
+	s3 := (7.0 - 1.0) / 7.0    // a=1,  b=(12+2)/2
+	want := (s0 + s1 + s2 + s3) / 4
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("silhouette = %v, want hand-computed %v", got, want)
+	}
+}
+
+func TestSilhouetteAllDistancesTie(t *testing.T) {
+	// Every pairwise distance equal: a == b for every point, so each
+	// coefficient — and the mean — is exactly 0.
+	n := 6
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = 3.5
+			}
+		}
+	}
+	if s := Silhouette(d, []int{0, 0, 1, 1, 2, 2}); s != 0 {
+		t.Errorf("all-ties silhouette = %v, want exactly 0", s)
+	}
+}
+
+func TestSilhouetteKEqualsN(t *testing.T) {
+	// Every point its own cluster: all singletons contribute 0.
+	d := lineMatrix([]float64{0, 1, 5, 9})
+	if s := Silhouette(d, []int{0, 1, 2, 3}); s != 0 {
+		t.Errorf("k = n silhouette = %v, want 0", s)
+	}
+}
+
+func TestDaviesBouldinHandComputed(t *testing.T) {
+	// Clusters {0,2} and {10,12}: centroids 1 and 11, mean scatter 1 each,
+	// centroid distance 10, so both ratios are (1+1)/10 and DB = 0.2.
+	data := [][]float64{{0}, {2}, {10}, {12}}
+	got := DaviesBouldin(data, []int{0, 0, 1, 1}, 2)
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("DB = %v, want 0.2", got)
+	}
+}
+
+func TestDaviesBouldinKEqualsN(t *testing.T) {
+	// Singleton clusters have zero scatter, so every ratio is 0.
+	data := [][]float64{{0}, {3}, {9}}
+	if v := DaviesBouldin(data, []int{0, 1, 2}, 3); v != 0 {
+		t.Errorf("k = n DB = %v, want 0", v)
+	}
+}
+
+func TestDaviesBouldinCoincidentCentroids(t *testing.T) {
+	// Two singleton clusters at the same point: their centroid distance is
+	// 0 and the pair must be skipped rather than divided by zero.
+	data := [][]float64{{1}, {1}, {5}}
+	v := DaviesBouldin(data, []int{0, 1, 2}, 3)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("DB = %v with coincident centroids", v)
+	}
+	if v != 0 {
+		t.Errorf("DB = %v, want 0 (all scatters are zero)", v)
+	}
+}
+
+func TestCalinskiHarabaszHandComputed(t *testing.T) {
+	// Clusters {0,2} and {10,12}: centroids 1 and 11, grand mean 6.
+	// Between = 2·25 + 2·25 = 100, within = 4·1 = 4, so
+	// CH = (100/1)/(4/2) = 50.
+	data := [][]float64{{0}, {2}, {10}, {12}}
+	got := CalinskiHarabasz(data, []int{0, 0, 1, 1}, 2)
+	if math.Abs(got-50) > 1e-12 {
+		t.Errorf("CH = %v, want 50", got)
+	}
+}
+
+func TestCalinskiHarabaszKEqualsN(t *testing.T) {
+	// n <= k is undefined by convention.
+	data := [][]float64{{0}, {3}, {9}}
+	if v := CalinskiHarabasz(data, []int{0, 1, 2}, 3); v != 0 {
+		t.Errorf("k = n CH = %v, want 0", v)
+	}
+}
+
+func TestValidityIndicesAgreeOnSeparationOrdering(t *testing.T) {
+	// Tighter clusters at the same separation: silhouette and CH must not
+	// decrease, DB must not increase.
+	tight := [][]float64{{0}, {0.1}, {10}, {10.1}}
+	loose := [][]float64{{0}, {4}, {10}, {14}}
+	labels := []int{0, 0, 1, 1}
+	if st, sl := Silhouette(lineMatrix([]float64{0, 0.1, 10, 10.1}), labels),
+		Silhouette(lineMatrix([]float64{0, 4, 10, 14}), labels); st <= sl {
+		t.Errorf("silhouette: tight %v not above loose %v", st, sl)
+	}
+	if dt, dl := DaviesBouldin(tight, labels, 2), DaviesBouldin(loose, labels, 2); dt >= dl {
+		t.Errorf("DB: tight %v not below loose %v", dt, dl)
+	}
+	if ct, cl := CalinskiHarabasz(tight, labels, 2), CalinskiHarabasz(loose, labels, 2); ct <= cl {
+		t.Errorf("CH: tight %v not above loose %v", ct, cl)
+	}
+}

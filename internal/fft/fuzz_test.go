@@ -1,0 +1,76 @@
+// Fuzz target for the FFT layer, in an external test package so it can use
+// the shared testkit decode helpers and tolerance conventions.
+package fft_test
+
+import (
+	"math"
+	"testing"
+
+	"kshape/internal/fft"
+	"kshape/internal/testkit"
+)
+
+func FuzzFFTRoundTrip(f *testing.F) {
+	f.Add(testkit.EncodeFloats([]float64{1, 0, -1, 0, 1, 0, -1, 0}))
+	f.Add(testkit.EncodeFloats([]float64{5}))
+	f.Add(testkit.EncodeFloats(make([]float64, 16)))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := testkit.DecodeFloats(data, 256)
+		if len(vals) == 0 {
+			return
+		}
+		// Round trip: Inverse(Forward(x)) == x at the padded length. The
+		// error of both transforms is O(log n · eps) relative to the input
+		// energy, so the elementwise slack scales with the largest magnitude.
+		n := fft.NextPow2(len(vals))
+		buf := make([]complex128, n)
+		maxAbs := 0.0
+		for i, v := range vals {
+			buf[i] = complex(v, 0)
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		fft.Forward(buf)
+		fft.Inverse(buf)
+		slack := 1e-9 * (1 + maxAbs)
+		for i := 0; i < n; i++ {
+			want := 0.0
+			if i < len(vals) {
+				want = vals[i]
+			}
+			if math.Abs(real(buf[i])-want) > slack || math.Abs(imag(buf[i])) > slack {
+				t.Fatalf("roundtrip n=%d index %d: got %v, want %v (slack %v)", n, i, buf[i], want, slack)
+			}
+		}
+		// Differential: the FFT cross-correlation of the two halves matches
+		// the direct O(m²) definition. Cancellation can leave small outputs
+		// assembled from large products, so the slack scales with the norm
+		// product rather than with the output value.
+		m := len(vals) / 2
+		if m == 0 {
+			return
+		}
+		x, y := vals[:m], vals[m:2*m]
+		got := fft.CrossCorrelate(x, y)
+		want := fft.CrossCorrelateNaive(x, y)
+		if len(got) != len(want) {
+			t.Fatalf("CrossCorrelate length %d vs naive %d", len(got), len(want))
+		}
+		ccSlack := 1e-12 * (1 + norm(x)*norm(y))
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > ccSlack {
+				t.Fatalf("CrossCorrelate[%d] = %v vs naive %v (m=%d, slack %v)", i, got[i], want[i], m, ccSlack)
+			}
+		}
+	})
+}
+
+func norm(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

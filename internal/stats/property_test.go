@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The tests in this file pin the statistical machinery against hand-worked
+// small-n examples (every rank sum and statistic below is computed on
+// paper) and against the invariances the tests must satisfy by
+// construction: shifting both samples, flipping signs, and permuting
+// datasets. The inputs use small integer-valued floats so the invariance
+// checks can demand bit-exact equality — no rounding excuses.
+
+func TestWilcoxonHandComputedNoTies(t *testing.T) {
+	// diffs = a-b = [1, -2, 3, -4, 5]; |diffs| rank 1..5.
+	// W+ = 1+3+5 = 9, W- = 2+4 = 6, so W = 6 over N = 5.
+	// mean = 5·6/4 = 7.5, var = 5·6·11/24 = 13.75,
+	// Z = (6 - 7.5)/sqrt(13.75).
+	a := []float64{2, 1, 4, 1, 6}
+	b := []float64{1, 3, 1, 5, 1}
+	res := Wilcoxon(a, b)
+	if res.W != 6 || res.N != 5 {
+		t.Fatalf("W = %v, N = %d, want W = 6, N = 5", res.W, res.N)
+	}
+	wantZ := -1.5 / math.Sqrt(13.75)
+	if math.Abs(res.Z-wantZ) > 1e-15 {
+		t.Errorf("Z = %v, want %v", res.Z, wantZ)
+	}
+	wantP := 2 * 0.5 * math.Erfc(-wantZ/math.Sqrt2)
+	if math.Abs(res.P-wantP) > 1e-15 {
+		t.Errorf("P = %v, want %v", res.P, wantP)
+	}
+	if res.P < 0.5 {
+		t.Errorf("P = %v: this weak signal must not look significant", res.P)
+	}
+}
+
+func TestWilcoxonHandComputedWithTies(t *testing.T) {
+	// diffs = [1, -1, 2]; |diffs| = [1, 1, 2] rank as [1.5, 1.5, 3].
+	// W+ = 1.5+3 = 4.5, W- = 1.5, so W = 1.5.
+	// One tie group of t = 2: correction (t³-t)/48 = 6/48 = 0.125,
+	// var = 3·4·7/24 - 0.125 = 3.375.
+	a := []float64{2, 0, 3}
+	b := []float64{1, 1, 1}
+	res := Wilcoxon(a, b)
+	if res.W != 1.5 || res.N != 3 {
+		t.Fatalf("W = %v, N = %d, want W = 1.5, N = 3", res.W, res.N)
+	}
+	wantZ := (1.5 - 3.0) / math.Sqrt(3.375)
+	if math.Abs(res.Z-wantZ) > 1e-15 {
+		t.Errorf("Z = %v, want %v", res.Z, wantZ)
+	}
+}
+
+// integerSamples returns paired samples with small integer values, so that
+// adding integer constants and negating stay exact in float64.
+func integerSamples(rng *rand.Rand, n int) (a, b []float64) {
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := range a {
+		a[i] = float64(rng.Intn(64))
+		b[i] = float64(rng.Intn(64))
+	}
+	return a, b
+}
+
+func TestWilcoxonShiftInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		a, b := integerSamples(rng, 3+rng.Intn(20))
+		base := Wilcoxon(a, b)
+		c := float64(rng.Intn(1000))
+		as := make([]float64, len(a))
+		bs := make([]float64, len(b))
+		for i := range a {
+			as[i], bs[i] = a[i]+c, b[i]+c
+		}
+		shifted := Wilcoxon(as, bs)
+		if shifted != base {
+			t.Fatalf("trial %d: shift by %v changed the test: %+v vs %+v", trial, c, shifted, base)
+		}
+	}
+}
+
+func TestWilcoxonSignFlipInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		a, b := integerSamples(rng, 3+rng.Intn(20))
+		base := Wilcoxon(a, b)
+		na := make([]float64, len(a))
+		nb := make([]float64, len(b))
+		for i := range a {
+			na[i], nb[i] = -a[i], -b[i]
+		}
+		// Negating both samples swaps the roles of W+ and W-, which leaves
+		// W = min(W+, W-) and everything derived from it unchanged.
+		flipped := Wilcoxon(na, nb)
+		if flipped != base {
+			t.Fatalf("trial %d: sign flip changed the test: %+v vs %+v", trial, flipped, base)
+		}
+	}
+}
+
+func TestSignificantlyBetterAntisymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		a, b := integerSamples(rng, 5+rng.Intn(15))
+		if SignificantlyBetter(a, b, 0.95) && SignificantlyBetter(b, a, 0.95) {
+			t.Fatalf("trial %d: both a>b and b>a reported significant", trial)
+		}
+	}
+}
+
+func TestFriedmanHandComputed(t *testing.T) {
+	// Three methods strictly ordered on every one of four datasets:
+	// average ranks [1, 2, 3], chi² = 12·4/(3·4)·(1+4+9 − 3·16/4) = 8,
+	// and for df = 2 the survival function is exactly exp(-x/2).
+	scores := [][]float64{
+		{3, 3, 3, 3},
+		{2, 2, 2, 2},
+		{1, 1, 1, 1},
+	}
+	res := Friedman(scores)
+	want := []float64{1, 2, 3}
+	for m, r := range res.AvgRanks {
+		if r != want[m] {
+			t.Errorf("AvgRanks[%d] = %v, want %v", m, r, want[m])
+		}
+	}
+	if res.ChiSq != 8 {
+		t.Errorf("ChiSq = %v, want 8", res.ChiSq)
+	}
+	if math.Abs(res.P-math.Exp(-4)) > 1e-12 {
+		t.Errorf("P = %v, want exp(-4) = %v", res.P, math.Exp(-4))
+	}
+}
+
+func TestFriedmanDatasetPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	k, n := 4, 12
+	scores := make([][]float64, k)
+	for m := range scores {
+		scores[m] = make([]float64, n)
+		for d := range scores[m] {
+			scores[m][d] = float64(rng.Intn(32))
+		}
+	}
+	base := Friedman(scores)
+	perm := rng.Perm(n)
+	permuted := make([][]float64, k)
+	for m := range permuted {
+		permuted[m] = make([]float64, n)
+		for d, p := range perm {
+			permuted[m][d] = scores[m][p]
+		}
+	}
+	got := Friedman(permuted)
+	// Ranks are dyadic rationals and the scores integers, so reordering the
+	// datasets must reproduce the result bit-for-bit.
+	if got.ChiSq != base.ChiSq || got.P != base.P {
+		t.Errorf("permuting datasets changed the statistic: %+v vs %+v", got, base)
+	}
+	for m := range got.AvgRanks {
+		if got.AvgRanks[m] != base.AvgRanks[m] {
+			t.Errorf("AvgRanks[%d] = %v after permutation, want %v", m, got.AvgRanks[m], base.AvgRanks[m])
+		}
+	}
+}
+
+func TestFriedmanPerDatasetShiftInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	k, n := 3, 10
+	scores := make([][]float64, k)
+	for m := range scores {
+		scores[m] = make([]float64, n)
+		for d := range scores[m] {
+			scores[m][d] = float64(rng.Intn(32))
+		}
+	}
+	base := Friedman(scores)
+	// Adding a per-dataset constant to every method's score changes no
+	// within-dataset ordering, hence no ranks.
+	shifted := make([][]float64, k)
+	for m := range shifted {
+		shifted[m] = make([]float64, n)
+	}
+	for d := 0; d < n; d++ {
+		c := float64(rng.Intn(500))
+		for m := 0; m < k; m++ {
+			shifted[m][d] = scores[m][d] + c
+		}
+	}
+	got := Friedman(shifted)
+	if got.ChiSq != base.ChiSq || got.P != base.P {
+		t.Errorf("per-dataset shift changed the statistic: %+v vs %+v", got, base)
+	}
+}
+
+func TestRanksSumAndPermutationEquivariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(25)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = float64(rng.Intn(10)) // force plenty of ties
+		}
+		ranks := Ranks(values)
+		sum := 0.0
+		for _, r := range ranks {
+			sum += r
+		}
+		// Mid-ranks redistribute within tie groups but always preserve the
+		// total 1+2+...+n; ranks are dyadic so the sum is exact.
+		if want := float64(n*(n+1)) / 2; sum != want {
+			t.Fatalf("trial %d: rank sum %v, want %v (values %v)", trial, sum, want, values)
+		}
+		perm := rng.Perm(n)
+		permuted := make([]float64, n)
+		for i, p := range perm {
+			permuted[i] = values[p]
+		}
+		permRanks := Ranks(permuted)
+		for i, p := range perm {
+			if permRanks[i] != ranks[p] {
+				t.Fatalf("trial %d: rank not equivariant under permutation at %d", trial, i)
+			}
+		}
+	}
+}

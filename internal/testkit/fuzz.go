@@ -1,0 +1,76 @@
+package testkit
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Fuzz-input decoding shared by every fuzz target in the module. Raw fuzz
+// bytes become float64 series deterministically: 8 bytes per value, little
+// endian, sanitized so that the invariants under test are about the kernels
+// rather than about IEEE edge cases the library explicitly rejects at its
+// boundaries (the UCR loader refuses NaN/Inf inputs, and magnitudes are
+// clamped so tolerance checks stay meaningfully conditioned).
+
+// fuzzMagnitudeCap bounds |value| of decoded fuzz floats. 1e6 is far beyond
+// any z-normalized or UCR-archive magnitude while keeping products of pairs
+// (up to 1e12, summed over a series) comfortably inside float64's exact
+// range for relative-tolerance comparisons.
+const fuzzMagnitudeCap = 1e6
+
+// fuzzMagnitudeFloor flushes decoded values with tiny magnitude to zero so
+// pairwise products never land in the subnormal range, where relative
+// rounding guarantees break down.
+const fuzzMagnitudeFloor = 1e-100
+
+// SanitizeFloat maps an arbitrary float64 bit pattern to the fuzz input
+// domain: NaN and ±Inf become 0, magnitudes are wrapped into
+// (-fuzzMagnitudeCap, fuzzMagnitudeCap), and subnormal-territory values are
+// flushed to 0. The mapping is deterministic, so corpus entries reproduce.
+func SanitizeFloat(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	if math.Abs(v) >= fuzzMagnitudeCap {
+		v = math.Mod(v, fuzzMagnitudeCap)
+	}
+	if math.Abs(v) < fuzzMagnitudeFloor {
+		return 0
+	}
+	return v
+}
+
+// DecodeFloats decodes data into at most limit sanitized float64 values
+// (8 bytes each, little endian; trailing bytes are dropped).
+func DecodeFloats(data []byte, limit int) []float64 {
+	n := len(data) / 8
+	if n > limit {
+		n = limit
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = SanitizeFloat(math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:])))
+	}
+	return out
+}
+
+// DecodePair splits data into two equal-length sanitized series of at most
+// limit points each. Both are empty when data holds fewer than two values.
+func DecodePair(data []byte, limit int) (x, y []float64) {
+	vals := DecodeFloats(data, 2*limit)
+	m := len(vals) / 2
+	if m == 0 {
+		return nil, nil
+	}
+	return vals[:m], vals[m : 2*m]
+}
+
+// EncodeFloats is the inverse layout of DecodeFloats, used to build seed
+// corpus entries from readable float slices.
+func EncodeFloats(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+// Command gencorpus regenerates the checked-in seed corpora for the
+// module's fuzz targets (testdata/fuzz/<Target>/ in each kernel package).
+// Run it from the repository root:
+//
+//	go run ./internal/testkit/gencorpus
+//
+// The corpora are deterministic renderings of hand-picked shapes: the
+// degenerate inputs that historically break distance kernels (constants,
+// zeros, spikes, single points), boundary lengths around the FFT padding,
+// and regression inputs for bugs the differential harness surfaced (the
+// constant-127 series whose rounding-level Std defeated ZNormalize's exact
+// zero-variance guard). Keeping them as generated files rather than opaque
+// binaries makes every seed reviewable here.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"kshape/internal/testkit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gencorpus:", err)
+		os.Exit(1)
+	}
+}
+
+// entry is one corpus file: the Go-syntax lines after the version header.
+type entry struct {
+	name  string
+	lines []string
+}
+
+// bytesLine renders a []byte fuzz argument in corpus syntax.
+func bytesLine(b []byte) string { return "[]byte(" + strconv.Quote(string(b)) + ")" }
+
+// byteLine renders a byte fuzz argument in corpus syntax.
+func byteLine(b byte) string { return "byte(" + strconv.QuoteRune(rune(b)) + ")" }
+
+func run() error {
+	targets := []struct {
+		dir     string
+		entries []entry
+	}{
+		{"internal/dist/testdata/fuzz/FuzzSBD", sbdEntries()},
+		{"internal/dist/testdata/fuzz/FuzzDTWBand", dtwEntries()},
+		{"internal/fft/testdata/fuzz/FuzzFFTRoundTrip", fftEntries()},
+		{"internal/ts/testdata/fuzz/FuzzZNormalize", znormEntries()},
+		{"internal/dataset/testdata/fuzz/FuzzUCRLoader", ucrEntries()},
+	}
+	for _, tgt := range targets {
+		if err := os.MkdirAll(tgt.dir, 0o755); err != nil {
+			return err
+		}
+		for _, e := range tgt.entries {
+			content := "go test fuzz v1\n"
+			for _, l := range e.lines {
+				content += l + "\n"
+			}
+			if err := os.WriteFile(filepath.Join(tgt.dir, e.name), []byte(content), 0o644); err != nil {
+				return err
+			}
+			fmt.Println(filepath.Join(tgt.dir, e.name))
+		}
+	}
+	return nil
+}
+
+// pairBytes encodes x followed by y (equal lengths) as one fuzz input.
+func pairBytes(x, y []float64) []byte {
+	return testkit.EncodeFloats(append(append([]float64(nil), x...), y...))
+}
+
+func sine(m int, freq, phase float64) []float64 {
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = math.Sin(freq*2*math.Pi*float64(i)/float64(m) + phase)
+	}
+	return out
+}
+
+func constant(m int, v float64) []float64 {
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func spike(m, at int, v float64) []float64 {
+	out := make([]float64, m)
+	out[at] = v
+	return out
+}
+
+func ramp(m int, slope float64) []float64 {
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = slope * float64(i)
+	}
+	return out
+}
+
+func sbdEntries() []entry {
+	return []entry{
+		{"sine-vs-shifted", []string{bytesLine(pairBytes(sine(32, 1, 0), sine(32, 1, 1.2)))}},
+		{"constant-pair", []string{bytesLine(pairBytes(constant(16, 3.25), constant(16, -2)))}},
+		{"zeros", []string{bytesLine(pairBytes(constant(8, 0), constant(8, 0)))}},
+		{"spike-vs-spike", []string{bytesLine(pairBytes(spike(24, 3, 100), spike(24, 19, -50)))}},
+		{"pow2-boundary", []string{bytesLine(pairBytes(sine(64, 3, 0.5), ramp(64, 0.25)))}},
+		{"odd-length", []string{bytesLine(pairBytes(sine(31, 2, 0), spike(31, 15, 7)))}},
+		{"single-point", []string{bytesLine(pairBytes([]float64{2.5}, []float64{-1.5}))}},
+		// Regression: with norms near 1e-100, sqrt(Dot(x,x)·Dot(y,y))
+		// underflowed to 0 and SBD(x,x) returned the degenerate 1 instead
+		// of 0; the denominator now multiplies the norms directly.
+		{"tiny-norm-underflow", []string{bytesLine(pairBytes([]float64{1.2e-100}, []float64{1.3e-76}))}},
+	}
+}
+
+func dtwEntries() []entry {
+	return []entry{
+		{"diagonal-band", []string{byteLine(1), bytesLine(pairBytes(ramp(10, 1), ramp(10, -1)))}},
+		{"full-band-sine", []string{byteLine(255), bytesLine(pairBytes(sine(24, 1, 0), sine(24, 2, 0.7)))}},
+		{"minimal-band", []string{byteLine(2), bytesLine(pairBytes(spike(12, 2, 5), spike(12, 9, 5)))}},
+		{"single-point", []string{byteLine(0), bytesLine(pairBytes([]float64{1}, []float64{-1}))}},
+		{"constant-vs-steps", []string{byteLine(4), bytesLine(pairBytes(constant(16, 2), ramp(16, 0.5)))}},
+	}
+}
+
+func fftEntries() []entry {
+	cancel := make([]float64, 64)
+	for i := range cancel {
+		cancel[i] = 1e6
+		if i%2 == 1 {
+			cancel[i] = -1e6
+		}
+	}
+	return []entry{
+		{"impulse", []string{bytesLine(testkit.EncodeFloats(spike(16, 0, 1)))}},
+		{"alternating", []string{bytesLine(testkit.EncodeFloats(cancel[:8]))}},
+		{"cancellation-large", []string{bytesLine(testkit.EncodeFloats(cancel))}},
+		{"single-value", []string{bytesLine(testkit.EncodeFloats([]float64{5}))}},
+		{"non-pow2-length", []string{bytesLine(testkit.EncodeFloats(sine(27, 2, 0.3)))}},
+	}
+}
+
+func znormEntries() []entry {
+	wiggle := constant(64, 1e6)
+	wiggle[10] += 0.125
+	wiggle[40] -= 0.125
+	return []entry{
+		// Regression: rounding in Mean over 127 copies of this value left
+		// Std at ~1.8e-15, defeating the exact sd == 0 guard; ZNormalize
+		// mapped the constant series to all ones.
+		{"constant-127-rounding", []string{bytesLine(testkit.EncodeFloats(constant(127, -1.7954023232620309)))}},
+		{"ramp", []string{bytesLine(testkit.EncodeFloats(ramp(32, 2)))}},
+		{"huge-mean-tiny-variance", []string{bytesLine(testkit.EncodeFloats(wiggle))}},
+		{"single-value", []string{bytesLine(testkit.EncodeFloats([]float64{42}))}},
+		{"two-values", []string{bytesLine(testkit.EncodeFloats([]float64{1, 2}))}},
+	}
+}
+
+func ucrEntries() []entry {
+	return []entry{
+		{"comma-two-rows", []string{bytesLine([]byte("1,0.5,1.5,2.5\n2,3.0,2.0,1.0\n"))}},
+		{"tab-separated", []string{bytesLine([]byte("1\t0.5\t1.5\n2\t2.5\t3.5\n"))}},
+		{"float-integer-label", []string{bytesLine([]byte("3.0 1 2 3\n"))}},
+		{"scientific-notation", []string{bytesLine([]byte("-1,1e300,-2.5e-10,0\n"))}},
+		{"ragged-rejected", []string{bytesLine([]byte("1,2,3\n4,5\n"))}},
+		{"nan-rejected", []string{bytesLine([]byte("1,NaN,2\n"))}},
+		{"blank-lines", []string{bytesLine([]byte("\n\n1,1,2\n\n2,3,4\n\n"))}},
+		{"trailing-commas", []string{bytesLine([]byte("1,1,2,\n2,3,4,\n"))}},
+	}
+}

@@ -1,0 +1,95 @@
+package testkit
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// updateGolden is shared by every golden test in the module:
+//
+//	go test ./... -run Golden -update
+//
+// rewrites all pinned snapshots with the current output. The flag is
+// registered once here; tests opt in by calling Golden.
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// Golden compares got against the pinned snapshot
+// testdata/golden/<name>.golden (relative to the calling test's package
+// directory, where `go test` runs). With -update the snapshot is rewritten
+// instead and the test passes; without it, a missing or differing snapshot
+// fails the test with a line-level diff.
+//
+// Snapshots pin byte-exact renderer output — experiment tables, trace
+// tables, benchmark JSON — so both numerical drift (a kernel change moving
+// a reported digit) and formatting drift (a column realigning) fail CI
+// with a readable message.
+func Golden(t *testing.T, name, got string) {
+	t.Helper()
+	if err := golden(filepath.Join("testdata", "golden"), name, got, *updateGolden); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// golden is the testable core of Golden: it pins got under dir/<name>.golden
+// and returns an error instead of failing a *testing.T, so the harness's own
+// tests can exercise the mismatch and update paths against temp directories.
+func golden(dir, name, got string, update bool) error {
+	path := filepath.Join(dir, name+".golden")
+	if update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("golden %s: %w", name, err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			return fmt.Errorf("golden %s: %w", name, err)
+		}
+		return nil
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("golden %s: %w (run `go test -run Golden -update` to create it)", name, err)
+	}
+	if string(want) == got {
+		return nil
+	}
+	return fmt.Errorf("golden %s: output differs from %s\n%s\n(run `go test -run Golden -update` to accept the new output)",
+		name, path, diffLines(got, string(want)))
+}
+
+// diffLines renders the first line-level divergence between got and want,
+// with one line of context, plus a byte-length summary — enough to read the
+// failure without opening the files.
+func diffLines(got, want string) string {
+	g := strings.Split(got, "\n")
+	w := strings.Split(want, "\n")
+	n := len(g)
+	if len(w) < n {
+		n = len(w)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  got %d bytes / %d lines, want %d bytes / %d lines\n",
+		len(got), len(g), len(want), len(w))
+	for i := 0; i < n; i++ {
+		if g[i] != w[i] {
+			if i > 0 {
+				fmt.Fprintf(&b, "  line %d:  %q (both)\n", i, g[i-1])
+			}
+			fmt.Fprintf(&b, "  line %d:  got  %q\n", i+1, g[i])
+			fmt.Fprintf(&b, "  line %d:  want %q", i+1, w[i])
+			return b.String()
+		}
+	}
+	// One output is a prefix of the other.
+	if len(g) != len(w) {
+		i := n
+		if len(g) > len(w) {
+			fmt.Fprintf(&b, "  line %d:  got  %q (extra)\n  line %d:  want <end of file>", i+1, g[i], i+1)
+		} else {
+			fmt.Fprintf(&b, "  line %d:  got  <end of file>\n  line %d:  want %q (extra)", i+1, i+1, w[i])
+		}
+	}
+	return b.String()
+}

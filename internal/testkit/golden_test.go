@@ -1,0 +1,84 @@
+package testkit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenHarness exercises the snapshot machinery itself against a temp
+// directory: update mode creates the file, a clean match passes, any 1-byte
+// perturbation fails with a line-level diff, and re-running update accepts
+// the new output.
+func TestGoldenHarness(t *testing.T) {
+	dir := t.TempDir()
+	content := "header a b c\nrow 1 2 3\nrow 4 5 6\n"
+
+	if err := golden(dir, "sample", content, false); err == nil {
+		t.Fatal("missing golden file did not fail")
+	} else if !strings.Contains(err.Error(), "-update") {
+		t.Errorf("missing-file error does not mention -update: %v", err)
+	}
+
+	if err := golden(dir, "sample", content, true); err != nil {
+		t.Fatalf("update mode failed: %v", err)
+	}
+	written, err := os.ReadFile(filepath.Join(dir, "sample.golden"))
+	if err != nil {
+		t.Fatalf("golden file not written: %v", err)
+	}
+	if string(written) != content {
+		t.Fatalf("golden file content %q, want %q", written, content)
+	}
+
+	if err := golden(dir, "sample", content, false); err != nil {
+		t.Fatalf("clean match failed: %v", err)
+	}
+
+	// Every single-byte perturbation must fail the comparison.
+	for i := 0; i < len(content); i++ {
+		mutated := []byte(content)
+		mutated[i] ^= 0x01
+		if err := golden(dir, "sample", string(mutated), false); err == nil {
+			t.Fatalf("1-byte perturbation at offset %d passed the golden comparison", i)
+		}
+	}
+
+	// Truncation and extension must fail too.
+	if err := golden(dir, "sample", content[:len(content)-4], false); err == nil {
+		t.Fatal("truncated output passed the golden comparison")
+	}
+	if err := golden(dir, "sample", content+"row 7 8 9\n", false); err == nil {
+		t.Fatal("extended output passed the golden comparison")
+	}
+
+	// The mismatch diff names the first diverging line.
+	err = golden(dir, "sample", strings.Replace(content, "row 4 5 6", "row 4 9 6", 1), false)
+	if err == nil {
+		t.Fatal("mismatched output passed")
+	}
+	if !strings.Contains(err.Error(), `"row 4 9 6"`) || !strings.Contains(err.Error(), `"row 4 5 6"`) {
+		t.Errorf("diff does not show got/want lines: %v", err)
+	}
+
+	// Update accepts new output in place.
+	if err := golden(dir, "sample", "entirely new\n", true); err != nil {
+		t.Fatalf("re-update failed: %v", err)
+	}
+	if err := golden(dir, "sample", "entirely new\n", false); err != nil {
+		t.Fatalf("match after re-update failed: %v", err)
+	}
+}
+
+func TestDiffLinesPrefix(t *testing.T) {
+	// A strict line-prefix (no trailing newline) reaches the length branch.
+	out := diffLines("a\nb", "a\nb\nc")
+	if !strings.Contains(out, "end of file") {
+		t.Errorf("prefix diff missing end-of-file marker: %s", out)
+	}
+	out = diffLines("a\nb\nc", "a\nb")
+	if !strings.Contains(out, "extra") {
+		t.Errorf("suffix diff missing extra marker: %s", out)
+	}
+}

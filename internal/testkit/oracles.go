@@ -1,0 +1,681 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+
+	"kshape/internal/avg"
+	"kshape/internal/dist"
+	"kshape/internal/fft"
+	"kshape/internal/linalg"
+	"kshape/internal/par"
+	"kshape/internal/ts"
+)
+
+// OraclePair pairs an optimized kernel with a slow, obviously-correct
+// reference implementation. Run draws one batch of cases from g, evaluates
+// both sides, and returns a descriptive error on the first disagreement
+// beyond Tol (Tol == 0 demands bit-for-bit equality — the contract of the
+// deterministic parallel layer and of copy-vs-in-place transforms).
+type OraclePair struct {
+	Name string
+	Doc  string
+	Tol  float64
+	Run  func(g *Gen) error
+}
+
+// Pairs returns the full oracle registry. Every optimized code path in the
+// tree — FFT cross-correlation, the three SBD variants, the shared-spectra
+// batch, banded rolling-row DTW, LB_Keogh, power iteration, shape
+// extraction, and each parallel reduction — has an entry here; the
+// differential test drives each entry across many seeds.
+func Pairs() []OraclePair {
+	return []OraclePair{
+		{
+			Name: "fft/roundtrip",
+			Doc:  "Inverse(Forward(x)) reproduces x for power-of-two complex inputs",
+			Tol:  DefaultTol,
+			Run:  runFFTRoundTrip,
+		},
+		{
+			Name: "fft/crosscorrelate-vs-direct",
+			Doc:  "FFT cross-correlation matches the direct O(m²) definition (Eq. 12)",
+			Tol:  DefaultTol,
+			Run:  runCrossCorrelate,
+		},
+		{
+			Name: "fft/convolve-vs-direct",
+			Doc:  "FFT linear convolution matches the direct definition",
+			Tol:  DefaultTol,
+			Run:  runConvolve,
+		},
+		{
+			Name: "sbd/fft-vs-reference",
+			Doc:  "optimized SBD (pow2-padded FFT) matches the direct NCCc maximum (Eq. 9)",
+			Tol:  DefaultTol,
+			Run:  func(g *Gen) error { return runSBDVariant(g, "SBD", dist.SBD) },
+		},
+		{
+			Name: "sbd/nopow2-vs-reference",
+			Doc:  "SBD_NoPow2 (longer FFT) matches the direct NCCc maximum",
+			Tol:  DefaultTol,
+			Run:  func(g *Gen) error { return runSBDVariant(g, "SBDNoPow2", dist.SBDNoPow2) },
+		},
+		{
+			Name: "sbd/nofft-vs-reference",
+			Doc:  "SBD_NoFFT (naive correlation) matches the direct NCCc maximum",
+			Tol:  DefaultTol,
+			Run:  func(g *Gen) error { return runSBDVariant(g, "SBDNoFFT", dist.SBDNoFFT) },
+		},
+		{
+			Name: "sbdbatch/batch-vs-pairwise",
+			Doc:  "shared-spectra SBDBatch distances and shifts match per-pair SBD",
+			Tol:  DefaultTol,
+			Run:  runSBDBatch,
+		},
+		{
+			Name: "dtw/rolling-vs-fullmatrix",
+			Doc:  "rolling two-row banded cDTW matches an independent full-matrix DP",
+			Tol:  DefaultTol,
+			Run:  runDTWFullMatrix,
+		},
+		{
+			Name: "dtw/warpingpath-consistency",
+			Doc:  "WarpingPath stays in band, uses valid steps, and its cost equals CDTW",
+			Tol:  DefaultTol,
+			Run:  runWarpingPath,
+		},
+		{
+			Name: "lbkeogh/bound-chain",
+			Doc:  "LB_Keogh <= cDTW(w), DTW <= cDTW(w) <= ED, envelopes bracket the series",
+			Tol:  DefaultTol,
+			Run:  runBoundChain,
+		},
+		{
+			Name: "eigen/power-vs-ql",
+			Doc:  "power iteration matches Householder+QL on gap-controlled PSD spectra",
+			Tol:  DefaultTol,
+			Run:  runEigen,
+		},
+		{
+			Name: "shape/power-vs-ql",
+			Doc:  "shape extraction via power iteration matches a full-decomposition rebuild",
+			Tol:  DefaultTol,
+			Run:  runShapeExtraction,
+		},
+		{
+			Name: "par/sum-serial-vs-parallel",
+			Doc:  "SumFloat/SumInt are bit-identical for every worker count",
+			Tol:  0,
+			Run:  runParSums,
+		},
+		{
+			Name: "par/minmax-serial-vs-parallel",
+			Doc:  "MinIndex/MaxIndex match a serial scan (smallest-index ties) for every worker count",
+			Tol:  0,
+			Run:  runParMinMax,
+		},
+		{
+			Name: "pairwise/serial-vs-parallel",
+			Doc:  "PairwiseMatrixWorkers is bit-identical across worker counts and symmetric",
+			Tol:  0,
+			Run:  runPairwise,
+		},
+		{
+			Name: "avg/dba-serial-vs-workers",
+			Doc:  "DBAWorkers is bit-identical to serial DBA for every worker count",
+			Tol:  0,
+			Run:  runDBA,
+		},
+		{
+			Name: "ts/znorm-copy-vs-inplace",
+			Doc:  "ZNormalize and ZNormalizeInPlace agree bit-for-bit and satisfy IsZNormalized",
+			Tol:  0,
+			Run:  runZNorm,
+		},
+	}
+}
+
+// --- independent reference implementations -------------------------------
+
+// refCrossCorrelate is the textbook O(len(x)·len(y)) cross-correlation with
+// the package's lag convention: out[w] = Σ_l x[l+lag]·y[l], lag = w-(len(y)-1).
+// It is written from the definition, independently of fft.CrossCorrelateNaive.
+func refCrossCorrelate(x, y []float64) []float64 {
+	if len(x) == 0 || len(y) == 0 {
+		return nil
+	}
+	out := make([]float64, len(x)+len(y)-1)
+	for w := range out {
+		lag := w - (len(y) - 1)
+		acc := 0.0
+		for l, yv := range y {
+			xi := l + lag
+			if xi >= 0 && xi < len(x) {
+				acc += x[xi] * yv
+			}
+		}
+		out[w] = acc
+	}
+	return out
+}
+
+// refConvolve is the direct O(len(x)·len(y)) linear convolution.
+func refConvolve(x, y []float64) []float64 {
+	if len(x) == 0 || len(y) == 0 {
+		return nil
+	}
+	out := make([]float64, len(x)+len(y)-1)
+	for i, xv := range x {
+		for j, yv := range y {
+			out[i+j] += xv * yv
+		}
+	}
+	return out
+}
+
+// refSBD computes the shape-based distance from the definition: the direct
+// cross-correlation sequence, normalized by the norms' product, maximized by
+// a first-strict-improvement scan. The degenerate zero-norm convention
+// (dist 1) mirrors the optimized path.
+func refSBD(x, y []float64) float64 {
+	m := len(x)
+	if m == 0 {
+		return 0
+	}
+	// Norms are multiplied (not sqrt of the product of squared norms) so the
+	// reference stays finite for tiny norms where Dot·Dot would underflow.
+	den := ts.Norm(x) * ts.Norm(y)
+	if den <= 0 {
+		return 1
+	}
+	cc := refCrossCorrelate(x, y)
+	best := math.Inf(-1)
+	for _, v := range cc {
+		if v > best {
+			best = v
+		}
+	}
+	return 1 - best/den
+}
+
+// refDTW computes banded DTW over the full (n+1)×(m+1) cost matrix — the
+// memory-hungry formulation the rolling-row CDTW optimizes away. window < 0
+// means unconstrained.
+func refDTW(x, y []float64, window int) float64 {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		if n == m {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	w := window
+	if w < 0 {
+		w = n
+		if m > w {
+			w = m
+		}
+	}
+	inf := math.Inf(1)
+	cost := make([][]float64, n+1)
+	for i := range cost {
+		cost[i] = make([]float64, m+1)
+		for j := range cost[i] {
+			cost[i][j] = inf
+		}
+	}
+	cost[0][0] = 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if j < i-w || j > i+w {
+				continue
+			}
+			best := cost[i-1][j-1]
+			if cost[i-1][j] < best {
+				best = cost[i-1][j]
+			}
+			if cost[i][j-1] < best {
+				best = cost[i][j-1]
+			}
+			d := x[i-1] - y[j-1]
+			cost[i][j] = d*d + best
+		}
+	}
+	return math.Sqrt(cost[n][m])
+}
+
+// --- oracle runners ------------------------------------------------------
+
+func runFFTRoundTrip(g *Gen) error {
+	sizes := []int{1, 2, 4, 16, 64, 256}
+	n := sizes[g.Intn(len(sizes))]
+	x := g.Complex(n)
+	work := append([]complex128(nil), x...)
+	fft.Forward(work)
+	fft.Inverse(work)
+	for i := range x {
+		if !Close(real(work[i]), real(x[i]), DefaultTol) || !Close(imag(work[i]), imag(x[i]), DefaultTol) {
+			return fmt.Errorf("roundtrip n=%d: index %d got %v, want %v", n, i, work[i], x[i])
+		}
+	}
+	return nil
+}
+
+func runCrossCorrelate(g *Gen) error {
+	x := g.Series(g.LenAtMost(100))
+	y := g.Series(g.LenAtMost(100))
+	got := fft.CrossCorrelate(x, y)
+	want := refCrossCorrelate(x, y)
+	return CheckSlice(fmt.Sprintf("CrossCorrelate(len %d, %d)", len(x), len(y)), got, want, DefaultTol)
+}
+
+func runConvolve(g *Gen) error {
+	x := g.Series(g.LenAtMost(100))
+	y := g.Series(g.LenAtMost(100))
+	got := fft.Convolve(x, y)
+	want := refConvolve(x, y)
+	return CheckSlice(fmt.Sprintf("Convolve(len %d, %d)", len(x), len(y)), got, want, DefaultTol)
+}
+
+func runSBDVariant(g *Gen, name string, f func(x, y []float64) (float64, []float64)) error {
+	x, y := g.PairAtMost(100)
+	got, aligned := f(x, y)
+	want := refSBD(x, y)
+	if err := CheckScalar(fmt.Sprintf("%s(len %d)", name, len(x)), got, want, DefaultTol); err != nil {
+		return err
+	}
+	if got < -DefaultTol || got > 2+DefaultTol {
+		return fmt.Errorf("%s(len %d) = %v outside [0, 2]", name, len(x), got)
+	}
+	if len(aligned) != len(y) {
+		return fmt.Errorf("%s aligned length %d, want %d", name, len(aligned), len(y))
+	}
+	// Self-distance is zero up to rounding (non-degenerate inputs only; the
+	// all-zero series maps to distance 1 by convention).
+	if ts.Norm(x) > 0 {
+		self, _ := f(x, x)
+		if err := CheckScalar(fmt.Sprintf("%s(x, x)", name), self, 0, DefaultTol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runSBDBatch(g *Gen) error {
+	m := g.LenAtMost(100)
+	data := g.Matrix(4+g.Intn(5), m)
+	b := dist.NewSBDBatch(data)
+	q := g.Series(m)
+	query := b.Query(q)
+	scratch := b.Scratch()
+	for i := range data {
+		wantDist, wantAligned := dist.SBD(q, data[i])
+		gotDist, gotShift := query.Distance(i)
+		if err := CheckScalar(fmt.Sprintf("batch dist[%d]", i), gotDist, wantDist, DefaultTol); err != nil {
+			return err
+		}
+		// The batch and per-pair paths run the same FFT arithmetic in the
+		// same scan order, so the argmax shift must agree exactly; verify by
+		// reconstructing the aligned series.
+		if err := CheckSlice(fmt.Sprintf("batch aligned[%d]", i), ts.Shift(data[i], gotShift), wantAligned, 0); err != nil {
+			return err
+		}
+		// The caller-provided-scratch path must agree with the internal one.
+		sDist, sShift := query.DistanceScratch(i, scratch)
+		if err := CheckScalar(fmt.Sprintf("scratch dist[%d]", i), sDist, gotDist, 0); err != nil {
+			return err
+		}
+		if err := CheckInt(fmt.Sprintf("scratch shift[%d]", i), sShift, gotShift); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runDTWFullMatrix(g *Gen) error {
+	// Unequal lengths exercise band clamping and the disconnected-band +Inf.
+	x := g.Series(g.LenAtMost(48))
+	y := g.Series(g.LenAtMost(48))
+	maxLen := len(x)
+	if len(y) > maxLen {
+		maxLen = len(y)
+	}
+	for _, w := range []int{-1, 0, 1, maxLen / 4, maxLen, g.Window(maxLen)} {
+		got := dist.CDTW(x, y, w)
+		want := refDTW(x, y, w)
+		if err := CheckScalar(fmt.Sprintf("CDTW(len %d, %d, w=%d)", len(x), len(y), w), got, want, DefaultTol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runWarpingPath(g *Gen) error {
+	x, y := g.PairAtMost(48)
+	w := g.Window(len(x))
+	path, d := dist.WarpingPath(x, y, w)
+	want := dist.CDTW(x, y, w)
+	if err := CheckScalar(fmt.Sprintf("WarpingPath distance (len %d, w=%d)", len(x), w), d, want, DefaultTol); err != nil {
+		return err
+	}
+	if math.IsInf(d, 1) {
+		if path != nil {
+			return fmt.Errorf("disconnected band returned a path of length %d", len(path))
+		}
+		return nil
+	}
+	if len(path) == 0 {
+		return fmt.Errorf("finite distance %v with empty path", d)
+	}
+	if path[0] != [2]int{0, 0} || path[len(path)-1] != [2]int{len(x) - 1, len(y) - 1} {
+		return fmt.Errorf("path endpoints %v .. %v, want (0,0) .. (%d,%d)",
+			path[0], path[len(path)-1], len(x)-1, len(y)-1)
+	}
+	band := w
+	if band < 0 {
+		band = len(x)
+		if len(y) > band {
+			band = len(y)
+		}
+	}
+	cost := 0.0
+	for s, p := range path {
+		i, j := p[0], p[1]
+		if i < 0 || i >= len(x) || j < 0 || j >= len(y) {
+			return fmt.Errorf("path step %d out of range: (%d,%d)", s, i, j)
+		}
+		if di := (i + 1) - (j + 1); di > band || -di > band {
+			return fmt.Errorf("path step %d = (%d,%d) outside band w=%d", s, i, j, w)
+		}
+		if s > 0 {
+			pi, pj := path[s-1][0], path[s-1][1]
+			if i-pi < 0 || i-pi > 1 || j-pj < 0 || j-pj > 1 || (i == pi && j == pj) {
+				return fmt.Errorf("path step %d: invalid move (%d,%d) -> (%d,%d)", s, pi, pj, i, j)
+			}
+		}
+		dd := x[i] - y[j]
+		cost += dd * dd
+	}
+	return CheckScalar("path cost", math.Sqrt(cost), d, DefaultTol)
+}
+
+func runBoundChain(g *Gen) error {
+	x, y := g.PairAtMost(64)
+	m := len(x)
+	w := g.Window(m)
+	if w < 0 {
+		w = m
+	}
+	upper, lower := dist.Envelope(y, w)
+	for i := range y {
+		if lower[i] > y[i] || y[i] > upper[i] {
+			return fmt.Errorf("envelope[%d] = [%v, %v] does not bracket y=%v (w=%d)", i, lower[i], upper[i], y[i], w)
+		}
+	}
+	lb := dist.LBKeogh(x, upper, lower)
+	cdtw := dist.CDTW(x, y, w)
+	slack := DefaultTol * (1 + lb + cdtw)
+	if lb > cdtw+slack {
+		return fmt.Errorf("LB_Keogh %v > cDTW(w=%d) %v (m=%d)", lb, w, cdtw, m)
+	}
+	full := dist.DTW(x, y)
+	if full > cdtw+DefaultTol*(1+full+cdtw) {
+		return fmt.Errorf("DTW %v > cDTW(w=%d) %v (m=%d)", full, w, cdtw, m)
+	}
+	ed := dist.ED(x, y)
+	if cdtw > ed+DefaultTol*(1+cdtw+ed) {
+		return fmt.Errorf("cDTW(w=%d) %v > ED %v (m=%d)", w, cdtw, ed, m)
+	}
+	// The diagonal band degenerates to the Euclidean alignment exactly.
+	return CheckScalar(fmt.Sprintf("cDTW(w=0) vs ED (m=%d)", m), dist.CDTW(x, y, 0), ed, DefaultTol)
+}
+
+// randomOrthonormal builds m orthonormal vectors of dimension m via modified
+// Gram-Schmidt over gaussian draws, retrying the (measure-zero) degenerate
+// draws.
+func randomOrthonormal(g *Gen, m int) [][]float64 {
+	vecs := make([][]float64, 0, m)
+	for len(vecs) < m {
+		v := make([]float64, m)
+		for t := range v {
+			v[t] = g.NormFloat64()
+		}
+		for _, u := range vecs {
+			proj := 0.0
+			for t := range v {
+				proj += v[t] * u[t]
+			}
+			for t := range v {
+				v[t] -= proj * u[t]
+			}
+		}
+		nrm := 0.0
+		for _, t := range v {
+			nrm += t * t
+		}
+		nrm = math.Sqrt(nrm)
+		if nrm < 1e-8 {
+			continue
+		}
+		for t := range v {
+			v[t] /= nrm
+		}
+		vecs = append(vecs, v)
+	}
+	return vecs
+}
+
+func absCos(a, b []float64) float64 {
+	num, na, nb := 0.0, 0.0, 0.0
+	for i := range a {
+		num += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	den := math.Sqrt(na * nb)
+	if den <= 0 {
+		return 0
+	}
+	return math.Abs(num) / den
+}
+
+func runEigen(g *Gen) error {
+	m := 4 + g.Intn(9)
+	basis := randomOrthonormal(g, m)
+	// Geometric spectrum with ratio <= 0.4. Power iteration's stopping rule
+	// bounds the angle between successive iterates, which is (1-ratio) times
+	// the angle to the true eigenvector; the eigenvalue and |cos| comparisons
+	// below converge quadratically in that angle, so a strong gap keeps both
+	// far inside the 1e-9 tolerance. (A residual check ‖Sv-λv‖ would be
+	// linear in the angle and cannot meet 1e-9 under the library's 1e-10
+	// alignment criterion — hence its absence.)
+	lambda1 := math.Exp(g.NormFloat64())
+	ratio := 0.2 + 0.2*g.Float64()
+	s := linalg.NewSym(m)
+	lam := lambda1
+	for k := 0; k < m; k++ {
+		v := basis[k]
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				s.Data[i*m+j] += lam * v[i] * v[j]
+			}
+		}
+		lam *= ratio
+	}
+	gotVal, gotVec := linalg.DominantEigen(s)
+	if err := CheckScalar(fmt.Sprintf("DominantEigen value (m=%d)", m), gotVal, lambda1, DefaultTol); err != nil {
+		return err
+	}
+	if c := absCos(gotVec, basis[0]); 1-c > DefaultTol {
+		return fmt.Errorf("DominantEigen vector misaligned with constructed basis: 1-|cos| = %v", 1-c)
+	}
+	vals, vecs := linalg.EigenDecompose(s)
+	qlVal, qlVec := vals[m-1], vecs[m-1]
+	if err := CheckScalar("EigenDecompose top value", qlVal, lambda1, DefaultTol); err != nil {
+		return err
+	}
+	if c := absCos(qlVec, gotVec); 1-c > DefaultTol {
+		return fmt.Errorf("power vs QL eigenvectors misaligned: 1-|cos| = %v", 1-c)
+	}
+	// The full spectrum must reproduce the constructed eigenvalues
+	// (EigenDecompose returns ascending order).
+	lam = lambda1
+	for k := 0; k < m; k++ {
+		if err := CheckScalar(fmt.Sprintf("EigenDecompose value %d", k), vals[m-1-k], lam, DefaultTol); err != nil {
+			return err
+		}
+		lam *= ratio
+	}
+	return nil
+}
+
+// refShapeExtraction rebuilds Algorithm 2's steps 2-4 using the full
+// Householder+QL decomposition in place of power iteration, with the same
+// z-normalization and sign-fix conventions.
+func refShapeExtraction(aligned [][]float64) []float64 {
+	m := len(aligned[0])
+	s := linalg.NewSym(m)
+	for _, a := range aligned {
+		s.GramAddOuter(ts.ZNormalize(a))
+	}
+	s.CenterProject()
+	_, vecs := linalg.EigenDecompose(s)
+	cen := ts.ZNormalize(vecs[m-1])
+	neg := make([]float64, m)
+	for i, v := range cen {
+		neg[i] = -v
+	}
+	if refSumSqED(aligned, neg) < refSumSqED(aligned, cen) {
+		return neg
+	}
+	return cen
+}
+
+func refSumSqED(cluster [][]float64, c []float64) float64 {
+	total := 0.0
+	for _, x := range cluster {
+		total += dist.SquaredED(ts.ZNormalize(x), c)
+	}
+	return total
+}
+
+func runShapeExtraction(g *Gen) error {
+	m := 8 + g.Intn(25)
+	cluster := g.Cluster(3+g.Intn(6), m)
+	got := avg.ShapeExtractionAligned(cluster)
+	want := refShapeExtraction(cluster)
+	return CheckSlice(fmt.Sprintf("ShapeExtraction (n=%d, m=%d)", len(cluster), m), got, want, DefaultTol)
+}
+
+// workerCounts are the parallelism degrees every exact pair is checked at,
+// against the serial (workers=1) reference.
+var workerCounts = []int{2, 3, 7, 16}
+
+func runParSums(g *Gen) error {
+	n := 1 + g.Intn(2000)
+	vals := make([]float64, n)
+	ints := make([]int, n)
+	for i := range vals {
+		vals[i] = g.NormFloat64() * math.Exp(g.NormFloat64()*3)
+		ints[i] = g.Intn(1000) - 500
+	}
+	term := func(i int) float64 { return vals[i] }
+	wantF := par.SumFloat(1, n, term)
+	wantI := par.SumInt(1, n, func(i int) int { return ints[i] })
+	for _, w := range workerCounts {
+		if err := CheckScalar(fmt.Sprintf("SumFloat(workers=%d, n=%d)", w, n), par.SumFloat(w, n, term), wantF, 0); err != nil {
+			return err
+		}
+		if err := CheckInt(fmt.Sprintf("SumInt(workers=%d, n=%d)", w, n), par.SumInt(w, n, func(i int) int { return ints[i] }), wantI); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runParMinMax(g *Gen) error {
+	n := 1 + g.Intn(2000)
+	vals := make([]float64, n)
+	for i := range vals {
+		// Draw from a small discrete set so ties are common and the
+		// smallest-index tie-break is actually exercised.
+		vals[i] = float64(g.Intn(7))
+	}
+	if n > 2 {
+		vals[g.Intn(n)] = math.NaN() // NaN must never be selected
+	}
+	score := func(i int) float64 { return vals[i] }
+	wantMinIdx, wantMin := par.MinIndex(1, n, score)
+	wantMaxIdx, wantMax := par.MaxIndex(1, n, score)
+	for _, w := range workerCounts {
+		gotIdx, gotVal := par.MinIndex(w, n, score)
+		if err := CheckInt(fmt.Sprintf("MinIndex(workers=%d, n=%d) idx", w, n), gotIdx, wantMinIdx); err != nil {
+			return err
+		}
+		if err := CheckScalar(fmt.Sprintf("MinIndex(workers=%d, n=%d) val", w, n), gotVal, wantMin, 0); err != nil {
+			return err
+		}
+		gotIdx, gotVal = par.MaxIndex(w, n, score)
+		if err := CheckInt(fmt.Sprintf("MaxIndex(workers=%d, n=%d) idx", w, n), gotIdx, wantMaxIdx); err != nil {
+			return err
+		}
+		if err := CheckScalar(fmt.Sprintf("MaxIndex(workers=%d, n=%d) val", w, n), gotVal, wantMax, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runPairwise(g *Gen) error {
+	data := g.Matrix(6+g.Intn(8), g.LenAtMost(64))
+	measures := []dist.Measure{dist.SBDMeasure{}, dist.EDMeasure{}, dist.CDTWMeasure{Window: 3}}
+	d := measures[g.Intn(len(measures))]
+	want := dist.PairwiseMatrixWorkers(d, data, 1)
+	for _, w := range workerCounts {
+		got := dist.PairwiseMatrixWorkers(d, data, w)
+		for i := range got {
+			if err := CheckSlice(fmt.Sprintf("%s pairwise row %d (workers=%d)", d.Name(), i, w), got[i], want[i], 0); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range want {
+		for j := range want[i] {
+			if !SameBits(want[i][j], want[j][i]) {
+				return fmt.Errorf("%s pairwise asymmetric at (%d,%d): %v vs %v", d.Name(), i, j, want[i][j], want[j][i])
+			}
+		}
+	}
+	return nil
+}
+
+func runDBA(g *Gen) error {
+	m := g.LenAtMost(40)
+	cluster := g.Cluster(3+g.Intn(5), m)
+	window := g.Window(m)
+	iters := 1 + g.Intn(3)
+	want := avg.DBAWorkers(cluster, nil, iters, window, 1)
+	for _, w := range workerCounts {
+		got := avg.DBAWorkers(cluster, nil, iters, window, w)
+		if err := CheckSlice(fmt.Sprintf("DBA(m=%d, iters=%d, window=%d, workers=%d)", m, iters, window, w), got, want, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runZNorm(g *Gen) error {
+	x := g.Series(g.Len())
+	fromCopy := ts.ZNormalize(x)
+	inPlace := ts.ZNormalizeInPlace(append([]float64(nil), x...))
+	if err := CheckSlice(fmt.Sprintf("ZNormalize (m=%d)", len(x)), inPlace, fromCopy, 0); err != nil {
+		return err
+	}
+	if !ts.IsZNormalized(fromCopy, 1e-6) {
+		return fmt.Errorf("ZNormalize output fails IsZNormalized: mean=%v std=%v", ts.Mean(fromCopy), ts.Std(fromCopy))
+	}
+	// Idempotence: normalizing twice is a no-op up to rounding.
+	twice := ts.ZNormalize(fromCopy)
+	return CheckSlice("ZNormalize idempotence", twice, fromCopy, DefaultTol)
+}

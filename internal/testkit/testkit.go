@@ -1,0 +1,88 @@
+// Package testkit is the repository's shared correctness-tooling layer:
+// a differential-testing registry that pairs every optimized kernel with a
+// slow, obviously-correct reference oracle (see oracles.go), a seeded
+// random-case generator exercised by both the differential tests and the
+// fuzz targets (gen.go), and a golden-snapshot harness that pins byte-exact
+// renderer output with an opt-in -update flag (golden.go).
+//
+// The package is imported only from _test.go files (external test packages
+// such as dist_test, fft_test), which keeps it out of production binaries
+// while letting every kernel package share one set of oracles, tolerances,
+// and corpus conventions.
+package testkit
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultTol is the relative tolerance used by the differential oracles for
+// floating-point kernels whose fast and reference paths round differently.
+// Exact pairs (serial vs parallel reductions, copy vs in-place transforms)
+// use 0 instead: those must agree bit for bit.
+const DefaultTol = 1e-9
+
+// Close reports whether a and b agree within the relative tolerance tol:
+//
+//	|a-b| <= tol * (1 + |a| + |b|)
+//
+// which behaves like an absolute tolerance near zero and a relative one for
+// large magnitudes. NaNs are close only to NaNs, and infinities only to
+// infinities of the same sign.
+func Close(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return math.IsInf(a, 1) == math.IsInf(b, 1) && math.IsInf(a, -1) == math.IsInf(b, -1)
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// SameBits reports whether a and b are the same float64 bit pattern. This is
+// the comparison the exact oracles use: "parallel equals serial" in this
+// codebase means bit-for-bit, not merely within rounding.
+func SameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// CheckScalar returns a descriptive error when got and want disagree beyond
+// tol. tol == 0 demands bit equality (SameBits).
+func CheckScalar(name string, got, want, tol float64) error {
+	if tol <= 0 {
+		if !SameBits(got, want) {
+			return fmt.Errorf("%s: got %v (bits %#x), want %v (bits %#x) [exact]",
+				name, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+		return nil
+	}
+	if !Close(got, want, tol) {
+		return fmt.Errorf("%s: got %v, want %v (|diff| %v > tol %v)",
+			name, got, want, math.Abs(got-want), tol)
+	}
+	return nil
+}
+
+// CheckSlice compares got and want elementwise under CheckScalar semantics,
+// reporting the first mismatching index.
+func CheckSlice(name string, got, want []float64, tol float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if err := CheckScalar(fmt.Sprintf("%s[%d]", name, i), got[i], want[i], tol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInt returns an error when two integer results (an argmin index, an
+// alignment shift) disagree; integer outputs of paired kernels must match
+// exactly.
+func CheckInt(name string, got, want int) error {
+	if got != want {
+		return fmt.Errorf("%s: got %d, want %d", name, got, want)
+	}
+	return nil
+}

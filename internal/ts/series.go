@@ -95,13 +95,34 @@ func Dot(x, y []float64) float64 {
 	return s
 }
 
+// degenerateStdRatio is the threshold below which a standard deviation is
+// treated as zero relative to the mean's magnitude. A floating-point
+// constant series can produce a non-zero Std purely from summation rounding
+// (e.g. 127 copies of -1.7954023232620309 give Std ≈ 1.8e-15), and dividing
+// by that noise would map a constant series to the constant 1 instead of
+// the documented all-zeros. Rounding noise in the mean is bounded by about
+// eps·m·|mu|, far below this threshold for any realistic series length,
+// while genuinely low-variance data (sd/|mu| ≥ 1e-10, say) is unaffected.
+const degenerateStdRatio = 1e-12
+
+// zstats returns the mean and standard deviation used for z-normalization,
+// flushing a rounding-noise-level deviation to exactly zero so degenerate
+// (constant) series are detected robustly.
+func zstats(x []float64) (mu, sd float64) {
+	mu = Mean(x)
+	sd = Std(x)
+	if sd <= degenerateStdRatio*math.Abs(mu) {
+		sd = 0
+	}
+	return mu, sd
+}
+
 // ZNormalize returns a new slice with mean 0 and standard deviation 1:
 // x' = (x - mean(x)) / std(x). A constant (zero-variance) series is mapped
 // to all zeros, which keeps downstream distance computations well defined.
 func ZNormalize(x []float64) []float64 {
 	out := make([]float64, len(x))
-	mu := Mean(x)
-	sd := Std(x)
+	mu, sd := zstats(x)
 	//lint:ignore floatcmp exact zero-variance guard; constant series stay constant
 	if sd == 0 {
 		return out // all zeros
@@ -114,8 +135,7 @@ func ZNormalize(x []float64) []float64 {
 
 // ZNormalizeInPlace z-normalizes x in place and returns it.
 func ZNormalizeInPlace(x []float64) []float64 {
-	mu := Mean(x)
-	sd := Std(x)
+	mu, sd := zstats(x)
 	//lint:ignore floatcmp exact zero-variance guard; constant series stay constant
 	if sd == 0 {
 		for i := range x {
