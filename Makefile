@@ -1,7 +1,14 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test test-short test-race vet lint fmt-check check bench smoke fuzz golden
+# `go test` / `go run` binaries carry no VCS stamp (only `go build` does),
+# so the bench and report tooling would record revision "unknown". These
+# ldflags feed the real revision through the internal/obs fallbacks.
+VCS_REVISION := $(shell git rev-parse HEAD 2>/dev/null || echo unknown)
+VCS_MODIFIED := $(shell test -n "$$(git status --porcelain 2>/dev/null)" && echo true || echo false)
+VCS_LDFLAGS := -ldflags "-X kshape/internal/obs.fallbackRevision=$(VCS_REVISION) -X kshape/internal/obs.fallbackModified=$(VCS_MODIFIED)"
+
+.PHONY: build test test-short test-race vet lint fmt-check check bench bench-diff bench-smoke smoke fuzz golden
 
 build:
 	$(GO) build ./...
@@ -60,7 +67,7 @@ fuzz:
 # Regenerates the golden snapshots (testdata/golden/) after a deliberate,
 # reviewed renderer change. `make test` fails on any byte of drift.
 golden:
-	$(GO) test ./internal/experiments/ ./cmd/kshape/ ./cmd/benchjson/ -run Golden -update
+	$(GO) test ./internal/experiments/ ./internal/obs/ ./cmd/kshape/ ./cmd/benchjson/ -run Golden -update
 
 # Pre-commit gate, cheapest first so failures surface early: formatting,
 # go vet, the repo's own analyzers (kshapelint), the full test suite
@@ -75,7 +82,31 @@ check: fmt-check vet lint test test-race smoke
 # BENCH_kshape.json via cmd/benchjson. The intermediate bench.out keeps
 # the raw `go test -bench` text around for inspection; it is gitignored.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ . > bench.out
+	$(GO) test $(VCS_LDFLAGS) -bench=. -benchtime=1x -run=^$$ . > bench.out
 	cat bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_kshape.json bench.out
+	$(GO) run $(VCS_LDFLAGS) ./cmd/benchjson -o BENCH_kshape.json bench.out
 	@echo "wrote BENCH_kshape.json"
+
+# Regression gate: rerun the full benchmark suite into a fresh report and
+# compare it against the committed baseline with cmd/benchdiff, failing on
+# any benchmark whose ns/op grew beyond BENCH_THRESHOLD. The fresh report
+# is kept (gitignored) for inspection.
+BENCH_THRESHOLD ?= 10%
+bench-diff:
+	$(GO) test $(VCS_LDFLAGS) -bench=. -benchtime=1x -run=^$$ . > bench-new.out
+	$(GO) run $(VCS_LDFLAGS) ./cmd/benchjson -o bench-new.json bench-new.out
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) BENCH_kshape.json bench-new.json
+
+# CI-sized regression smoke: only the ~100ms-class parallel benchmarks
+# (microsecond kernels are too jittery for single-shot timing), three
+# iterations each, compared against the committed baseline with a loose
+# threshold — this catches egregious regressions on noisy CI machines;
+# `make bench-diff` is the strict local gate. Also runs one instrumented
+# kbench whose flight report (bench-smoke-report.json) is uploaded as a
+# build artifact.
+BENCH_SMOKE_THRESHOLD ?= 50%
+bench-smoke:
+	$(GO) test $(VCS_LDFLAGS) -bench='DistanceMatrixSBD|KShapeRefinement|OneNN' -benchtime=3x -run=^$$ . > bench-smoke.out
+	$(GO) run $(VCS_LDFLAGS) ./cmd/benchjson -o bench-smoke.json bench-smoke.out
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_SMOKE_THRESHOLD) BENCH_kshape.json bench-smoke.json
+	$(GO) run $(VCS_LDFLAGS) ./cmd/kbench -datasets 2 -runs 1 -workers 4 -report bench-smoke-report.json table3 > /dev/null

@@ -12,6 +12,7 @@ package kshape
 import (
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -379,6 +380,63 @@ func BenchmarkDistanceMatrixSBDParallel(b *testing.B) {
 	b.StopTimer()
 	stop()
 	reportSpeedup(b, serial)
+}
+
+// BenchmarkDistanceMatrixSBDRecorder measures the flight recorder's cost
+// on the parallel pairwise-matrix build. The ns/op column times the
+// recorded path; the "recorder_overhead_pct" metric is a paired
+// measurement (recorder off vs on, interleaved, median of several pairs —
+// robust to the noise a single -benchtime=1x sample would have) that
+// lands in BENCH_kshape.json as the tracked overhead number. The recorder
+// only adds clock reads around chunk bodies, so the budget is <= 2%.
+func BenchmarkDistanceMatrixSBDRecorder(b *testing.B) {
+	data := ts.Rows(dataset.CBF(120, 128, 1))
+	work := func() { dist.PairwiseMatrixWorkers(dist.SBDMeasure{}, data, benchParallelWorkers) }
+	work() // warm caches before any timing
+
+	// Paired overhead measurement, outside the timed region: alternate
+	// recorder-off and recorder-on runs and compare the fastest run of
+	// each side. Interference (GC, scheduler preemption, other container
+	// load) only ever slows a run down, so the minimum over many runs
+	// converges to the true cost per side and their ratio to the true
+	// overhead — far more stable than averaging on a shared machine.
+	// Each run allocates ~80MB, so collection cycles trigger every few
+	// runs and can align with the off/on alternation, charging GC to one
+	// side. Forcing a collection before every timed run pins both sides
+	// to the same collector state (the GC itself runs outside the timed
+	// window).
+	const rounds = 18
+	timeIt := func() time.Duration {
+		runtime.GC()
+		start := time.Now()
+		work()
+		return time.Since(start)
+	}
+	minOff, minOn := time.Duration(-1), time.Duration(-1)
+	for p := 0; p < rounds; p++ {
+		if d := timeIt(); minOff < 0 || d < minOff {
+			minOff = d
+		}
+		prev := obs.SetRecorder(obs.NewRecorder(0))
+		d := timeIt()
+		obs.SetRecorder(prev)
+		if minOn < 0 || d < minOn {
+			minOn = d
+		}
+	}
+	overheadPct := (float64(minOn)/float64(minOff) - 1) * 100
+
+	// The timed loop runs the recorded path, so ns/op is directly
+	// comparable with BenchmarkDistanceMatrixSBDParallel's.
+	prev := obs.SetRecorder(obs.NewRecorder(0))
+	defer obs.SetRecorder(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work()
+	}
+	b.StopTimer()
+	b.ReportMetric(overheadPct, "recorder_overhead_pct")
 }
 
 func BenchmarkKShapeRefinementSerial(b *testing.B) {

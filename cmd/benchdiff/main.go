@@ -1,0 +1,146 @@
+// Command benchdiff compares two kshape.bench/v1 reports (see cmd/benchjson
+// and `make bench`) and flags performance regressions: benchmarks whose
+// ns/op grew by more than -threshold relative to the baseline. It is the
+// gate behind `make bench-diff` and the CI bench-smoke job.
+//
+// Usage:
+//
+//	benchdiff -threshold 10% BENCH_kshape.json bench-new.json
+//
+// Exit status: 0 when no benchmark regressed beyond the threshold, 1 when
+// at least one did, 2 on usage or input errors. Benchmarks present in only
+// one of the two reports are listed but never fail the run — the
+// comparison covers the name intersection only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kshape/internal/benchfmt"
+	"kshape/internal/cli"
+)
+
+const (
+	exitOK         = 0
+	exitRegression = 1
+	exitUsage      = 2
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.String("threshold", "10%",
+		"relative ns/op growth that counts as a regression (e.g. 10% or 0.10)")
+	fs.Usage = func() {
+		cli.Emit(stderr, "usage: benchdiff [-threshold PCT] baseline.json new.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return exitUsage
+	}
+	limit, err := parseThreshold(*threshold)
+	if err != nil {
+		cli.Emit(stderr, "benchdiff: %v\n", err)
+		return exitUsage
+	}
+	base, err := benchfmt.Load(fs.Arg(0))
+	if err != nil {
+		cli.Emit(stderr, "benchdiff: baseline: %v\n", err)
+		return exitUsage
+	}
+	cur, err := benchfmt.Load(fs.Arg(1))
+	if err != nil {
+		cli.Emit(stderr, "benchdiff: new: %v\n", err)
+		return exitUsage
+	}
+	regressed := diff(stdout, base, cur, limit)
+	if regressed > 0 {
+		cli.Emit(stdout, "\nFAIL: %d benchmark(s) regressed more than %s\n", regressed, formatPct(limit))
+		return exitRegression
+	}
+	cli.Emit(stdout, "\nOK: no benchmark regressed more than %s\n", formatPct(limit))
+	return exitOK
+}
+
+// parseThreshold accepts "25%" (percent) or "0.25" (ratio) forms; both
+// mean the same limit. The value must be positive.
+func parseThreshold(s string) (float64, error) {
+	str := strings.TrimSpace(s)
+	pct := strings.HasSuffix(str, "%")
+	str = strings.TrimSuffix(str, "%")
+	v, err := strconv.ParseFloat(str, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad threshold %q: %w", s, err)
+	}
+	if pct {
+		v /= 100
+	}
+	if !(v > 0) {
+		return 0, fmt.Errorf("threshold must be positive, got %q", s)
+	}
+	return v, nil
+}
+
+func formatPct(ratio float64) string {
+	return strconv.FormatFloat(ratio*100, 'g', 4, 64) + "%"
+}
+
+// diff prints the per-benchmark comparison over the name intersection in
+// sorted order and returns how many benchmarks regressed beyond limit.
+func diff(w io.Writer, base, cur *benchfmt.Report, limit float64) int {
+	baseBy, curBy := base.ByName(), cur.ByName()
+	names := make([]string, 0, len(baseBy))
+	var onlyBase, onlyCur []string
+	for _, b := range base.Benchmarks {
+		if _, ok := curBy[b.Name]; ok {
+			names = append(names, b.Name)
+		} else {
+			onlyBase = append(onlyBase, b.Name)
+		}
+	}
+	for _, b := range cur.Benchmarks {
+		if _, ok := baseBy[b.Name]; !ok {
+			onlyCur = append(onlyCur, b.Name)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(onlyBase)
+	sort.Strings(onlyCur)
+
+	cli.Emit(w, "%-44s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	regressed := 0
+	for _, name := range names {
+		oldNS, newNS := baseBy[name].NsPerOp, curBy[name].NsPerOp
+		var delta float64
+		if oldNS > 0 {
+			delta = newNS/oldNS - 1
+		}
+		mark := ""
+		if delta > limit {
+			mark = "  REGRESSION"
+			regressed++
+		}
+		cli.Emit(w, "%-44s %14.0f %14.0f %+8.1f%%%s\n", name, oldNS, newNS, delta*100, mark)
+	}
+	for _, name := range onlyBase {
+		cli.Emit(w, "%-44s (only in baseline)\n", name)
+	}
+	for _, name := range onlyCur {
+		cli.Emit(w, "%-44s (only in new report)\n", name)
+	}
+	return regressed
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kshape/internal/benchfmt"
+)
+
+// writeReport marshals a minimal valid kshape.bench/v1 report to a temp
+// file and returns its path.
+func writeReport(t *testing.T, name string, benchNSByName map[string]float64) string {
+	t.Helper()
+	rep := benchfmt.Report{
+		Schema:    benchfmt.Schema,
+		GoVersion: "go1.22",
+		Version:   "test",
+		Revision:  "deadbeef",
+	}
+	names := make([]string, 0, len(benchNSByName))
+	for n := range benchNSByName {
+		names = append(names, n)
+	}
+	// Deterministic file content regardless of map order.
+	for len(names) > 0 {
+		min := 0
+		for i := range names {
+			if names[i] < names[min] {
+				min = i
+			}
+		}
+		n := names[min]
+		names = append(names[:min], names[min+1:]...)
+		rep.Benchmarks = append(rep.Benchmarks, benchfmt.Benchmark{
+			Name: n, Iterations: 1, NsPerOp: benchNSByName[n],
+		})
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBaselineVsItselfPasses(t *testing.T) {
+	p := writeReport(t, "base.json", map[string]float64{"A": 1000, "B": 2000})
+	var out, errOut strings.Builder
+	if code := run([]string{"-threshold", "25%", p, p}, &out, &errOut); code != exitOK {
+		t.Fatalf("exit = %d, want %d; output:\n%s%s", code, exitOK, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "OK:") {
+		t.Errorf("missing OK summary in output:\n%s", out.String())
+	}
+}
+
+func TestSyntheticRegressionFails(t *testing.T) {
+	base := writeReport(t, "base.json", map[string]float64{"A": 1000, "B": 2000})
+	// A grew 30%: beyond the 25% threshold.
+	cur := writeReport(t, "cur.json", map[string]float64{"A": 1300, "B": 2000})
+	var out, errOut strings.Builder
+	if code := run([]string{"-threshold", "25%", base, cur}, &out, &errOut); code != exitRegression {
+		t.Fatalf("exit = %d, want %d; output:\n%s%s", code, exitRegression, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION marker in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL: 1 benchmark(s)") {
+		t.Errorf("missing FAIL summary in output:\n%s", out.String())
+	}
+}
+
+func TestRegressionWithinThresholdPasses(t *testing.T) {
+	base := writeReport(t, "base.json", map[string]float64{"A": 1000})
+	cur := writeReport(t, "cur.json", map[string]float64{"A": 1200}) // +20% < 25%
+	var out, errOut strings.Builder
+	if code := run([]string{"-threshold", "25%", base, cur}, &out, &errOut); code != exitOK {
+		t.Fatalf("exit = %d, want %d; output:\n%s", code, exitOK, out.String())
+	}
+}
+
+func TestDisjointBenchmarksAreListedNotFailed(t *testing.T) {
+	base := writeReport(t, "base.json", map[string]float64{"A": 1000, "Gone": 500})
+	cur := writeReport(t, "cur.json", map[string]float64{"A": 1000, "New": 700})
+	var out, errOut strings.Builder
+	if code := run([]string{"-threshold", "25%", base, cur}, &out, &errOut); code != exitOK {
+		t.Fatalf("exit = %d, want %d; output:\n%s", code, exitOK, out.String())
+	}
+	if !strings.Contains(out.String(), "Gone") || !strings.Contains(out.String(), "only in baseline") {
+		t.Errorf("missing only-in-baseline listing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "New") || !strings.Contains(out.String(), "only in new report") {
+		t.Errorf("missing only-in-new listing:\n%s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	valid := writeReport(t, "base.json", map[string]float64{"A": 1000})
+	cases := [][]string{
+		{},                                 // no files
+		{valid},                            // one file
+		{"-threshold", "0%", valid, valid}, // non-positive threshold
+		{"-threshold", "nope", valid, valid},
+		{valid, filepath.Join(t.TempDir(), "missing.json")},
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestParseThresholdForms(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+	}{
+		{"25%", 0.25},
+		{"10%", 0.10},
+		{"0.25", 0.25},
+		{" 5% ", 0.05},
+	} {
+		got, err := parseThreshold(tc.in)
+		if err != nil {
+			t.Errorf("parseThreshold(%q): %v", tc.in, err)
+			continue
+		}
+		if diff := got - tc.want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("parseThreshold(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

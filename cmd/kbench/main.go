@@ -86,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var common cli.Common
 	common.Register(fs)
 	common.RegisterListen(fs)
+	common.RegisterReport(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,6 +127,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer stopTelemetry()
+	finishReport := common.StartReport("kbench", args, logger)
 
 	valid := map[string]bool{}
 	for _, e := range experimentNames {
@@ -472,6 +474,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := f.Close(); err != nil {
 			return fmt.Errorf("memprofile: %w", err)
 		}
+	}
+	if err := finishReport(); err != nil {
+		return err
 	}
 	logger.Info("kbench finished", "seconds", sw.Seconds())
 	return nil

@@ -41,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "max concurrent workers (1 = serial; results are identical for any value)")
 	var common cli.Common
 	common.Register(fs)
+	common.RegisterReport(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if fs.NArg() != 2 {
 		return fmt.Errorf("expected train and test files, got %d arguments", fs.NArg())
 	}
+	finishReport := common.StartReport("knn", args, logger)
 	train, err := dataset.LoadUCRFile(fs.Arg(0))
 	if err != nil {
 		return err
@@ -85,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	logger.Info("1-NN classification complete",
 		"measure", *measure, "correct", correct, "queries", len(test),
 		"accuracy", fmt.Sprintf("%.4f", float64(correct)/float64(len(test))))
-	return nil
+	return finishReport()
 }
 
 // writeFileOr writes content to path when path is non-empty (creating the

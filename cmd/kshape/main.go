@@ -64,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var common cli.Common
 	common.Register(fs)
 	common.RegisterListen(fs)
+	common.RegisterReport(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer stopTelemetry()
+	finishReport := common.StartReport("kshape", args, logger)
 	series, err := dataset.LoadUCRFile(fs.Arg(0))
 	if err != nil {
 		return err
@@ -129,6 +131,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if hasLabels(series) {
 		ri := eval.RandIndex(res.Labels, ts.Labels(series))
 		logger.Info("Rand Index vs file labels", "rand_index", fmt.Sprintf("%.4f", ri))
+	}
+	if err := finishReport(); err != nil {
+		return err
 	}
 	if srv != nil && telemetryScrapeHook != nil {
 		telemetryScrapeHook(srv.URL())

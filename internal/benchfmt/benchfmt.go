@@ -1,0 +1,208 @@
+// Package benchfmt holds the kshape.bench/v1 schema shared by the tools
+// that produce and consume the committed benchmark report: cmd/benchjson
+// parses `go test -bench` output into it (BENCH_kshape.json, regenerated
+// by `make bench`) and cmd/benchdiff compares two such reports for
+// regressions. Keeping the schema in one package guarantees producer and
+// consumer cannot drift apart.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"kshape/internal/obs"
+)
+
+// Schema is the identifier embedded in every report; bump it if the
+// report shape ever changes incompatibly.
+const Schema = "kshape.bench/v1"
+
+// Report is the top-level JSON document.
+type Report struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Package    string      `json:"package,omitempty"`
+	Version    string      `json:"version"`
+	Revision   string      `json:"revision"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one result line of `go test -bench` output.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -PROCS suffix (e.g. "DistanceMatrixSBDParallel").
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the result line (0 if absent).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op column.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other value/unit pair of the line keyed by
+	// unit: "B/op", "allocs/op", "speedup", "fft/op", "sbd/op", ….
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Validate checks the invariants the schema promises consumers, so the
+// committed BENCH_kshape.json can be asserted reproducible in tests.
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("schema = %q, want %q", r.Schema, Schema)
+	}
+	if r.GoVersion == "" {
+		return fmt.Errorf("missing go_version")
+	}
+	if len(r.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmarks")
+	}
+	seen := map[string]bool{}
+	for i, b := range r.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("benchmark %d has no name", i)
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("duplicate benchmark %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Iterations < 1 {
+			return fmt.Errorf("benchmark %q: iterations = %d", b.Name, b.Iterations)
+		}
+		if b.NsPerOp < 0 {
+			return fmt.Errorf("benchmark %q: negative ns/op", b.Name)
+		}
+	}
+	return nil
+}
+
+// ByName returns the report's benchmarks keyed by name. Validate
+// guarantees names are unique.
+func (r *Report) ByName() map[string]Benchmark {
+	out := make(map[string]Benchmark, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		out[b.Name] = b
+	}
+	return out
+}
+
+// Parse reads `go test -bench` output and assembles the report,
+// capturing the goos/goarch/cpu/pkg header lines and every
+// "BenchmarkName-P  N  value unit [value unit ...]" result line.
+func Parse(r io.Reader) (*Report, error) {
+	bi := obs.BuildInfo()
+	rep := &Report{
+		Schema:    Schema,
+		GoVersion: bi["go"],
+		Version:   bi["version"],
+		Revision:  bi["revision"],
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, ok, err := parseResultLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, fmt.Errorf("parsed report invalid: %w", err)
+	}
+	return rep, nil
+}
+
+// parseResultLine parses one benchmark result line. Lines that merely
+// name a running benchmark (no fields after the name) report ok=false.
+func parseResultLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Benchmark{}, false, nil
+	}
+	var b Benchmark
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(name[i+1:]); err == nil {
+			b.Procs = procs
+			name = name[:i]
+		}
+	}
+	b.Name = name
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, fmt.Errorf("%q: bad iteration count: %w", line, err)
+	}
+	b.Iterations = iters
+	// The rest is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("%q: bad metric value %q: %w", line, fields[i], err)
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	return b, true, nil
+}
+
+// Load reads and validates a kshape.bench/v1 JSON report from path.
+func Load(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Decode reads and validates a kshape.bench/v1 JSON report.
+func Decode(r io.Reader) (*Report, error) {
+	var rep Report
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return nil, err
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}

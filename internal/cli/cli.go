@@ -27,6 +27,26 @@ type Common struct {
 	// Listen is the -listen address (e.g. ":9090"); empty means no
 	// telemetry server. Only present on tools that call RegisterListen.
 	Listen string
+	// ReportPath is the -report value: write a kshape.runreport/v1 JSON
+	// flight-recorder report there after the run. Only present on tools
+	// that call RegisterReport.
+	ReportPath string
+	// TimelinePath is the -timeline value: render the run's execution
+	// timeline (workers × time SVG) there after the run.
+	TimelinePath string
+
+	// runID correlates this invocation's log records and run report; it is
+	// generated on first use (Logger or StartReport).
+	runID string
+}
+
+// RunID returns the invocation's correlation ID, generating it on first
+// call so the logger and the run report agree on one value.
+func (c *Common) RunID() string {
+	if c.runID == "" {
+		c.runID = obs.NewRunID()
+	}
+	return c.runID
 }
 
 // Register installs the flags every tool shares: -version, -log-level,
@@ -73,7 +93,13 @@ func (c *Common) Logger(tool string, w io.Writer) (*slog.Logger, error) {
 	if err != nil {
 		return nil, err
 	}
-	return base.With("tool", tool, "run_id", obs.NewRunID()), nil
+	bi := obs.BuildInfo()
+	logger := base.With("tool", tool, "run_id", c.RunID())
+	// Surface build identity once at startup (debug level keeps the
+	// default output unchanged) so any log stream can be tied back to the
+	// exact binary that produced it.
+	logger.Debug("build", "version", bi["version"], "revision", bi["revision"], "go", bi["go"])
+	return logger, nil
 }
 
 // StartTelemetry starts the -listen telemetry server, if requested, and

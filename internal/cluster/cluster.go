@@ -62,6 +62,10 @@ type Iterative interface {
 // instrumentation hooks fire uniformly across methods; for non-iterative
 // methods the options are (correctly) inert and OnIteration never fires.
 func Run(c Clusterer, data [][]float64, k int, rng *rand.Rand, opt Opts) (*core.Result, error) {
+	// Annotate the flight-recorder event stream with the method boundary
+	// so a run report's chunk/phase spans can be mapped back to the
+	// algorithm that produced them (no-op without an active recorder).
+	obs.RecordMark("method:" + c.Name())
 	if it, ok := c.(Iterative); ok {
 		return it.ClusterOpts(data, k, rng, opt)
 	}

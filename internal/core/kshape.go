@@ -168,6 +168,7 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 			centroids[j] = cfg.Centroid(members[j], centroids[j])
 		})
 		refineNS := refineSW.ElapsedNS()
+		obs.RecordPhaseSpan(obs.PhaseRefine, refineNS)
 
 		// Assignment step: each series moves to its closest centroid.
 		// Each index writes only its own labels/assignDist slots, and the
@@ -186,6 +187,7 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 			assignDist[i] = best
 		})
 		assignNS := assignSW.ElapsedNS()
+		obs.RecordPhaseSpan(obs.PhaseAssign, assignNS)
 
 		// Re-seed emptied clusters with the worst-fitting series.
 		reseeds := reseedEmptyClusters(data, labels, assignDist, k)
@@ -208,16 +210,26 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 }
 
 // observeIterationTelemetry records one iteration's phase latencies into
-// the global histograms and advances the current-iteration gauge. All
-// sinks are Enabled-gated, so the disabled path costs a few atomic loads.
+// the global histograms, advances the current-iteration gauge, and marks
+// the iteration boundary (plus the whole-iteration span) on the flight
+// recorder. All sinks are gated on their own switch, so with neither
+// collection nor a recorder active the call costs a few atomic loads.
+// The refine and assign spans are recorded inline by the engine loops the
+// moment each phase ends, where their recorder-clock placement is exact.
 func observeIterationTelemetry(iter int, refineNS, assignNS int64, iterSW obs.Stopwatch) {
-	if !obs.Enabled() {
+	rec := obs.ActiveRecorder()
+	if !obs.Enabled() && rec == nil {
 		return
 	}
+	iterNS := iterSW.ElapsedNS()
 	obs.ObservePhase(obs.PhaseRefine, refineNS)
 	obs.ObservePhase(obs.PhaseAssign, assignNS)
-	obs.ObservePhase(obs.PhaseIteration, iterSW.ElapsedNS())
+	obs.ObservePhase(obs.PhaseIteration, iterNS)
 	obs.SetGauge(obs.GaugeCurrentIteration, int64(iter+1))
+	if rec != nil {
+		rec.RecordPhaseSpan(obs.PhaseIteration, iterNS)
+		rec.RecordIteration(iter + 1)
+	}
 }
 
 // publishClusterSizes exposes the final cluster occupancy on the
@@ -444,6 +456,7 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 			centroids[j] = avg.ShapeExtractionAligned(aligned)
 		})
 		refineNS := refineSW.ElapsedNS()
+		obs.RecordPhaseSpan(obs.PhaseRefine, refineNS)
 
 		// Assignment: one batched query per centroid (prepared in
 		// parallel — exactly k forward FFTs, like the serial loop), then
@@ -470,6 +483,7 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 		})
 
 		assignNS := assignSW.ElapsedNS()
+		obs.RecordPhaseSpan(obs.PhaseAssign, assignNS)
 		reseeds := reseedEmptyClusters(data, labels, assignDist, k)
 		observeIterationTelemetry(iter, refineNS, assignNS, refineSW)
 		res.Iterations = iter + 1

@@ -227,15 +227,23 @@ func ObservePhase(p Phase, ns int64) {
 var noopStop = func() {}
 
 // StartPhase starts timing a phase and returns the function that records
-// the elapsed duration: defer StartPhase(p)() around the phase body. When
-// collection is disabled the returned function is a shared no-op and no
-// clock is read.
+// the elapsed duration: defer StartPhase(p)() around the phase body. The
+// sample lands in the phase histogram when collection is enabled and in
+// the flight recorder when one is installed; with neither active the
+// returned function is a shared no-op and no clock is read.
 func StartPhase(p Phase) func() {
-	if !enabled.Load() {
+	rec := activeRecorder.Load()
+	if !enabled.Load() && rec == nil {
 		return noopStop
 	}
 	start := time.Now()
-	return func() { ObservePhase(p, time.Since(start).Nanoseconds()) }
+	return func() {
+		ns := time.Since(start).Nanoseconds()
+		ObservePhase(p, ns)
+		if rec != nil {
+			rec.RecordPhaseSpan(p, ns)
+		}
+	}
 }
 
 // PhaseHistograms snapshots every phase histogram, in Phase order.

@@ -6,10 +6,24 @@ import (
 	"runtime/debug"
 )
 
+// The Go toolchain only stamps vcs.* build settings into `go build` /
+// `go install` binaries — `go run` and `go test` binaries carry none,
+// which is how the committed bench report ended up with
+// `revision: "unknown"`. The Makefile therefore injects the repository
+// state through these ldflags fallbacks
+// (-X kshape/internal/obs.fallbackRevision=…), consulted only when
+// ReadBuildInfo has no vcs settings of its own.
+var (
+	fallbackRevision string
+	fallbackModified string
+)
+
 // BuildInfo returns build metadata from runtime/debug.ReadBuildInfo:
 // module version, VCS revision/time/dirty state when stamped, and the Go
-// toolchain. Missing fields are reported as "unknown" so exports and
-// bench reports always carry stable keys.
+// toolchain, falling back to the Makefile-injected ldflags values for
+// binaries the toolchain does not stamp (`go run`, `go test`). Missing
+// fields are reported as "unknown" so exports and bench reports always
+// carry stable keys.
 func BuildInfo() map[string]string {
 	out := map[string]string{
 		"version":  "unknown",
@@ -17,6 +31,12 @@ func BuildInfo() map[string]string {
 		"time":     "unknown",
 		"modified": "unknown",
 		"go":       runtime.Version(),
+	}
+	if fallbackRevision != "" {
+		out["revision"] = shortRev(fallbackRevision)
+	}
+	if fallbackModified != "" {
+		out["modified"] = fallbackModified
 	}
 	bi, ok := debug.ReadBuildInfo()
 	if !ok {
@@ -28,11 +48,7 @@ func BuildInfo() map[string]string {
 	for _, s := range bi.Settings {
 		switch s.Key {
 		case "vcs.revision":
-			rev := s.Value
-			if len(rev) > 12 {
-				rev = rev[:12]
-			}
-			out["revision"] = rev
+			out["revision"] = shortRev(s.Value)
 		case "vcs.time":
 			out["time"] = s.Value
 		case "vcs.modified":
@@ -40,6 +56,15 @@ func BuildInfo() map[string]string {
 		}
 	}
 	return out
+}
+
+// shortRev truncates a VCS revision to the 12-character short form used
+// everywhere a revision is displayed or exported.
+func shortRev(rev string) string {
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	return rev
 }
 
 // Version renders the one-line build identifier the CLIs print for

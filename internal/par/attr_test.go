@@ -1,0 +1,190 @@
+package par
+
+// Tests for the flight-recorder attribution in the pool: results must be
+// bit-identical with and without a recorder at every worker count, the
+// busy/wait/wall identity must hold exactly, and the chunk accounting must
+// be deterministic (same totals every run).
+
+import (
+	"math"
+	"testing"
+
+	"kshape/internal/obs"
+)
+
+// withRecorder installs a fresh recorder around fn and returns it for
+// inspection. The previous recorder (always nil in these tests) is
+// restored afterward.
+func withRecorder(t *testing.T, fn func()) *obs.Recorder {
+	t.Helper()
+	r := obs.NewRecorder(1 << 12)
+	prev := obs.SetRecorder(r)
+	defer obs.SetRecorder(prev)
+	fn()
+	return r
+}
+
+var attrWorkerCounts = []int{1, 2, 8}
+
+func TestResultsBitIdenticalWithRecorder(t *testing.T) {
+	const n = 500
+	term := func(i int) float64 { return math.Sin(float64(i)) / (1 + float64(i%7)) }
+	score := func(i int) float64 { return math.Cos(float64(i) * 1.7) }
+
+	wantSum := SumFloat(1, n, term)
+	wantIdx, wantMin := MinIndex(1, n, score)
+	wantOut := make([]float64, n)
+	For(1, n, func(i int) { wantOut[i] = term(i) * 2 })
+
+	for _, w := range attrWorkerCounts {
+		for _, recorded := range []bool{false, true} {
+			run := func() {
+				if got := SumFloat(w, n, term); got != wantSum {
+					t.Errorf("workers=%d recorded=%v: SumFloat = %x, want %x",
+						w, recorded, math.Float64bits(got), math.Float64bits(wantSum))
+				}
+				idx, min := MinIndex(w, n, score)
+				if idx != wantIdx || min != wantMin {
+					t.Errorf("workers=%d recorded=%v: MinIndex = (%d, %v), want (%d, %v)",
+						w, recorded, idx, min, wantIdx, wantMin)
+				}
+				out := make([]float64, n)
+				For(w, n, func(i int) { out[i] = term(i) * 2 })
+				for i := range out {
+					if out[i] != wantOut[i] {
+						t.Errorf("workers=%d recorded=%v: For output differs at %d", w, recorded, i)
+						break
+					}
+				}
+			}
+			if recorded {
+				withRecorder(t, run)
+			} else {
+				run()
+			}
+		}
+	}
+}
+
+func TestWorkerAttributionIdentity(t *testing.T) {
+	const n = 300
+	for _, w := range attrWorkerCounts {
+		rec := withRecorder(t, func() {
+			ForChunks(w, n, func(lo, hi int) {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += math.Sqrt(float64(i))
+				}
+				_ = s
+			})
+		})
+		rep := rec.Report("par_test", "", nil, obs.Counters{})
+		if len(rep.Workers) == 0 {
+			t.Fatalf("workers=%d: no attribution rows", w)
+		}
+		if len(rep.Workers) > w {
+			t.Errorf("workers=%d: %d attribution rows", w, len(rep.Workers))
+		}
+		var items, chunks int64
+		for _, ws := range rep.Workers {
+			if ws.BusyNS+ws.WaitNS != ws.WallNS {
+				t.Errorf("workers=%d worker %d: busy %d + wait %d != wall %d",
+					w, ws.Worker, ws.BusyNS, ws.WaitNS, ws.WallNS)
+			}
+			if ws.BusyNS < 0 || ws.WaitNS < 0 {
+				t.Errorf("workers=%d worker %d: negative attribution", w, ws.Worker)
+			}
+			items += ws.Items
+			chunks += ws.Chunks
+		}
+		if items != n {
+			t.Errorf("workers=%d: attributed %d items, want %d", w, items, n)
+		}
+		wantChunks := int64(chunkCount(w, n))
+		if chunks != wantChunks {
+			t.Errorf("workers=%d: attributed %d chunks, want %d", w, chunks, wantChunks)
+		}
+	}
+}
+
+// chunkCount mirrors the pool's chunking arithmetic.
+func chunkCount(w, n int) int {
+	w = Resolve(w)
+	if n <= 0 {
+		return 0
+	}
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		return 1
+	}
+	chunks := w * chunksPerWorker
+	if chunks > n {
+		chunks = n
+	}
+	return chunks
+}
+
+func TestChunkEventsCoverRangeExactly(t *testing.T) {
+	const n = 257
+	for _, w := range attrWorkerCounts {
+		rec := withRecorder(t, func() {
+			ForChunks(w, n, func(lo, hi int) {})
+		})
+		covered := make([]int, n)
+		events := 0
+		for _, e := range rec.Events() {
+			if e.Kind != obs.EventChunk {
+				continue
+			}
+			events++
+			if e.DurNS < 0 || e.AtNS < 0 {
+				t.Errorf("workers=%d: chunk event with negative span (%d, %d)", w, e.AtNS, e.DurNS)
+			}
+			for i := e.Lo; i < e.Hi; i++ {
+				covered[i]++
+			}
+		}
+		if events != chunkCount(w, n) {
+			t.Errorf("workers=%d: %d chunk events, want %d", w, events, chunkCount(w, n))
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestExtremeIndexAttributesThroughPool(t *testing.T) {
+	const n = 300
+	rec := withRecorder(t, func() {
+		MinIndex(4, n, func(i int) float64 { return float64((i * 7919) % 104729) })
+	})
+	rep := rec.Report("par_test", "", nil, obs.Counters{})
+	var items int64
+	for _, ws := range rep.Workers {
+		items += ws.Items
+	}
+	if items != n {
+		t.Errorf("MinIndex attributed %d items, want %d", items, n)
+	}
+}
+
+func TestSerialPathAttributesWorkerZero(t *testing.T) {
+	const n = 64
+	rec := withRecorder(t, func() {
+		ForChunks(1, n, func(lo, hi int) {})
+	})
+	rep := rec.Report("par_test", "", nil, obs.Counters{})
+	if len(rep.Workers) != 1 || rep.Workers[0].Worker != 0 {
+		t.Fatalf("serial path attribution rows = %+v, want exactly worker 0", rep.Workers)
+	}
+	if rep.Workers[0].Items != n || rep.Workers[0].Chunks != 1 {
+		t.Errorf("serial attribution = %+v, want 1 chunk of %d items", rep.Workers[0], n)
+	}
+	if rep.Workers[0].WaitNS != 0 {
+		t.Errorf("serial path recorded wait %dns, want 0", rep.Workers[0].WaitNS)
+	}
+}

@@ -69,6 +69,15 @@ func For(workers, n int, fn func(i int)) {
 // goroutines. Chunks are disjoint and cover the full range exactly once.
 // Use it instead of For when the body wants per-chunk setup (a scratch
 // buffer, a batched query) amortized over many indices.
+//
+// When a flight recorder is installed (obs.SetRecorder), every worker
+// additionally records its chunk spans and per-invocation attribution —
+// chunks executed, items covered, busy time inside fn versus time waiting
+// for work — without perturbing scheduling or results: the recorder only
+// adds clock reads around chunk bodies, and the work partition is
+// identical with and without it. The serial path (one worker) is
+// attributed to worker 0 so pool-efficiency numbers stay comparable
+// across worker counts.
 func ForChunks(workers, n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -77,8 +86,17 @@ func ForChunks(workers, n int, fn func(lo, hi int)) {
 	if w > n {
 		w = n
 	}
+	rec := obs.ActiveRecorder()
 	if w == 1 {
+		if rec == nil {
+			fn(0, n)
+			return
+		}
+		sw := obs.NewStopwatch()
 		fn(0, n)
+		busy := sw.ElapsedNS()
+		rec.RecordChunk(0, 0, n, rec.NowNS()-busy, busy)
+		rec.AddWorkerSpan(0, 1, int64(n), busy, 0, busy)
 		return
 	}
 	chunks := w * chunksPerWorker
@@ -92,20 +110,54 @@ func ForChunks(workers, n int, fn func(lo, hi int)) {
 		obs.AddGauge(obs.GaugeActiveWorkers, int64(w))
 		defer obs.AddGauge(obs.GaugeActiveWorkers, int64(-w))
 	}
+	runPool(w, chunks, n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// runPool is the one place pool goroutines are spawned: w workers claim
+// the chunks of [0, n) through an atomic cursor and run body(c, lo, hi)
+// for each claimed chunk c. When a flight recorder is installed, each
+// worker additionally records its chunk spans and publishes busy/wait
+// attribution — wait being everything in the worker's wall time outside
+// chunk bodies (cursor claims, goroutine startup, the final drain), so
+// busy + wait equals wall exactly. The recorded variant claims chunks
+// through the same cursor in the same order; only clock reads are added.
+func runPool(w, chunks, n int, body func(c, lo, hi int)) {
+	rec := obs.ActiveRecorder()
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			if rec == nil {
+				for {
+					c := int(cursor.Add(1)) - 1
+					if c >= chunks {
+						return
+					}
+					body(c, c*n/chunks, (c+1)*n/chunks)
+				}
+			}
+			wallSW := obs.NewStopwatch()
+			var nchunks, items, busy int64
 			for {
 				c := int(cursor.Add(1)) - 1
 				if c >= chunks {
-					return
+					break
 				}
-				fn(c*n/chunks, (c+1)*n/chunks)
+				lo, hi := c*n/chunks, (c+1)*n/chunks
+				start := rec.NowNS()
+				sw := obs.NewStopwatch()
+				body(c, lo, hi)
+				d := sw.ElapsedNS()
+				rec.RecordChunk(worker, lo, hi, start, d)
+				nchunks++
+				items += int64(hi - lo)
+				busy += d
 			}
-		}()
+			wall := wallSW.ElapsedNS()
+			rec.AddWorkerSpan(worker, nchunks, items, busy, wall-busy, wall)
+		}(g)
 	}
 	wg.Wait()
 }
@@ -208,22 +260,7 @@ func extremeIndex(workers, n int, score func(i int) float64, better func(v, best
 		chunks = n
 	}
 	partial := make([]candidate, chunks)
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(cursor.Add(1)) - 1
-				if c >= chunks {
-					return
-				}
-				partial[c] = scan(c*n/chunks, (c+1)*n/chunks)
-			}
-		}()
-	}
-	wg.Wait()
+	runPool(w, chunks, n, func(c, lo, hi int) { partial[c] = scan(lo, hi) })
 	// Merge in chunk (hence index) order; strict comparison keeps the
 	// smallest index on ties, matching the serial scan.
 	best := candidate{-1, inf}

@@ -1,0 +1,137 @@
+package plot
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TimelineSpan is one colored bar of an execution timeline: a phase span
+// or a worker's chunk. Worker -1 places the span in the phase lane at the
+// top of the chart; workers 0..N-1 get one lane each.
+type TimelineSpan struct {
+	Worker  int
+	Phase   string
+	StartNS int64
+	DurNS   int64
+}
+
+// Timeline geometry.
+const (
+	tlWidth      = 960
+	tlLaneHeight = 22
+	tlLaneGap    = 4
+	tlTop        = 56
+	tlLeft       = 88
+	tlRight      = 24
+	tlBottom     = 40
+)
+
+// Timeline renders a run's execution timeline as an SVG Gantt chart:
+// one lane per worker (plus a phase lane on top) spanning [0, wallNS],
+// every span colored by its phase name. Spans are drawn in a fixed
+// order and colors are assigned to sorted distinct phase names, so the
+// output is byte-identical for identical input regardless of the order
+// spans were collected in.
+func Timeline(title string, workers int, wallNS int64, spans []TimelineSpan) []byte {
+	if workers < 1 {
+		workers = 1
+	}
+	if wallNS < 1 {
+		wallNS = 1
+	}
+	// Deterministic draw order and color assignment.
+	sorted := make([]TimelineSpan, len(spans))
+	copy(sorted, spans)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Worker != sorted[j].Worker {
+			return sorted[i].Worker < sorted[j].Worker
+		}
+		if sorted[i].StartNS != sorted[j].StartNS {
+			return sorted[i].StartNS < sorted[j].StartNS
+		}
+		return sorted[i].Phase < sorted[j].Phase
+	})
+	names := map[string]bool{}
+	for _, s := range sorted {
+		names[s.Phase] = true
+	}
+	phases := make([]string, 0, len(names))
+	for n := range names {
+		phases = append(phases, n)
+	}
+	sort.Strings(phases)
+	color := map[string]string{}
+	for i, n := range phases {
+		color[n] = palette[i%len(palette)]
+	}
+
+	lanes := workers + 1 // phase lane + one per worker
+	h := tlTop + lanes*(tlLaneHeight+tlLaneGap) + tlBottom
+	b := newSVG(tlWidth, h)
+	b.text(float64(tlWidth)/2, 22, "middle", title)
+
+	plotW := float64(tlWidth - tlLeft - tlRight)
+	px := func(ns int64) float64 { return float64(tlLeft) + float64(ns)/float64(wallNS)*plotW }
+	laneY := func(lane int) float64 { return float64(tlTop + lane*(tlLaneHeight+tlLaneGap)) }
+
+	// Lane labels and baselines.
+	b.text(float64(tlLeft)-8, laneY(0)+float64(tlLaneHeight)-7, "end", "phases")
+	for w := 0; w < workers; w++ {
+		b.text(float64(tlLeft)-8, laneY(w+1)+float64(tlLaneHeight)-7, "end", fmt.Sprintf("worker %d", w))
+	}
+	axisY := laneY(lanes) + 2
+	b.line(float64(tlLeft), axisY, float64(tlWidth-tlRight), axisY, "#111", false)
+	for i := 0; i <= 4; i++ {
+		at := wallNS * int64(i) / 4
+		b.line(px(at), axisY, px(at), axisY+4, "#111", false)
+		b.text(px(at), axisY+16, "middle", formatNS(at))
+	}
+
+	// Spans. Phase lane (-1) maps to lane 0, worker w to lane w+1.
+	for _, s := range sorted {
+		lane := s.Worker + 1
+		if lane < 0 || lane >= lanes {
+			continue
+		}
+		x := px(s.StartNS)
+		wpx := px(s.StartNS+s.DurNS) - x
+		if wpx < 0.5 {
+			wpx = 0.5 // keep sub-pixel spans visible
+		}
+		b.rect(x, laneY(lane), wpx, tlLaneHeight, color[s.Phase], escape(s.Phase))
+	}
+
+	// Legend along the bottom.
+	lx := float64(tlLeft)
+	ly := axisY + 30.0
+	for _, n := range phases {
+		b.rect(lx, ly-9, 10, 10, color[n], "")
+		b.text(lx+14, ly, "start", n)
+		lx += 18 + 7*float64(len(n)) + 14
+	}
+	return b.finish()
+}
+
+// rect draws a filled rectangle; a non-empty title becomes a hover
+// tooltip in browsers.
+func (b *svgBuilder) rect(x, y, w, h float64, fill, title string) {
+	if title == "" {
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.8"/>`, x, y, w, h, fill)
+		return
+	}
+	fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.8"><title>%s</title></rect>`, x, y, w, h, fill, title)
+}
+
+// formatNS renders a nanosecond tick label with a readable unit.
+func formatNS(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

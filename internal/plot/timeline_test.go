@@ -1,0 +1,78 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleSpans() []TimelineSpan {
+	return []TimelineSpan{
+		{Worker: -1, Phase: "assign", StartNS: 0, DurNS: 500},
+		{Worker: -1, Phase: "refine", StartNS: 500, DurNS: 500},
+		{Worker: 0, Phase: "assign", StartNS: 10, DurNS: 200},
+		{Worker: 0, Phase: "refine", StartNS: 520, DurNS: 300},
+		{Worker: 1, Phase: "assign", StartNS: 15, DurNS: 400},
+		{Worker: 1, Phase: "refine", StartNS: 510, DurNS: 1}, // sub-pixel
+	}
+}
+
+func TestTimelineWellFormed(t *testing.T) {
+	svg := Timeline("run timeline", 2, 1000, sampleSpans())
+	wellFormed(t, svg)
+	for _, want := range []string{"worker 0", "worker 1", "phases", "assign", "refine"} {
+		if !bytes.Contains(svg, []byte(want)) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestTimelineDeterministic feeds the same spans in two different orders
+// and requires byte-identical output — the renderer sorts internally.
+func TestTimelineDeterministic(t *testing.T) {
+	spans := sampleSpans()
+	reversed := make([]TimelineSpan, len(spans))
+	for i, s := range spans {
+		reversed[len(spans)-1-i] = s
+	}
+	a := Timeline("t", 2, 1000, spans)
+	b := Timeline("t", 2, 1000, reversed)
+	if !bytes.Equal(a, b) {
+		t.Fatal("timeline output depends on span order")
+	}
+}
+
+func TestTimelineDegenerateInputs(t *testing.T) {
+	// No spans, zero wall, zero workers must still render something valid.
+	svg := Timeline("empty", 0, 0, nil)
+	wellFormed(t, svg)
+	if !strings.Contains(string(svg), "worker 0") {
+		t.Errorf("degenerate timeline missing worker lane:\n%s", svg)
+	}
+}
+
+func TestTimelineEscapesPhaseNames(t *testing.T) {
+	svg := Timeline("t", 1, 100, []TimelineSpan{
+		{Worker: 0, Phase: "a<b&c", StartNS: 0, DurNS: 50},
+	})
+	wellFormed(t, svg)
+	if bytes.Contains(svg, []byte("a<b&c")) {
+		t.Error("phase name not escaped")
+	}
+}
+
+func TestFormatNS(t *testing.T) {
+	for _, tc := range []struct {
+		ns   int64
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.5µs"},
+		{2_500_000, "2.5ms"},
+		{3_000_000_000, "3.00s"},
+	} {
+		if got := formatNS(tc.ns); got != tc.want {
+			t.Errorf("formatNS(%d) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}
