@@ -11,6 +11,7 @@ package kshape
 
 import (
 	"io"
+	"math"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -303,32 +304,69 @@ func BenchmarkTable2Extended(b *testing.B) {
 
 // --- serial vs parallel: the internal/par execution layer ---------------------
 //
-// Each parallel benchmark measures a serial (workers=1) baseline outside
-// the timed region and reports the observed ratio as a "speedup" metric, so
-// `go test -bench Parallel` prints the gain of the deterministic parallel
-// path directly. On a single-core machine the ratio hovers around 1; the
-// outputs themselves are bit-identical either way (see the determinism
+// Each parallel benchmark measures a baseline and the production parallel
+// path outside the timed region (paired minima, see pairedMinDurations) and
+// reports their ratio as a "speedup" metric, so `go test -bench Parallel`
+// prints the gain of the deterministic parallel path directly. The
+// pairwise-matrix baseline is the per-pair SBD build every caller ran
+// before the spectrum cache — its speedup is the end-to-end gain of RFFT +
+// cached spectra + batch NCC; the k-Shape and 1-NN baselines are the same
+// engine at workers=1, pinning the parallel layer at >= 1x (the pool
+// collapses to the serial path when the machine cannot run chunks
+// concurrently; on a multi-core machine the ratio reflects real scaling).
+// The outputs themselves are bit-identical either way (see the determinism
 // tests), so the worker count is purely a throughput knob.
 
 // benchParallelWorkers is the worker count the parallel variants run with.
-const benchParallelWorkers = 4
+const benchParallelWorkers = 8
 
-// serialBaseline times one serial execution of fn (averaged over a few
-// repetitions) for the speedup metric.
-func serialBaseline(fn func()) time.Duration {
-	const reps = 3
-	start := time.Now()
-	for i := 0; i < reps; i++ {
+// pairedMinDurations measures the speedup inputs with the same paired-
+// minimum protocol BenchmarkDistanceMatrixSBDRecorder uses for its overhead
+// metric: baseline and candidate runs alternate, each behind a forced
+// collection so GC state cannot align with one side, and the fastest
+// observation per side is kept. Interference on a shared machine only ever
+// slows a run down, so the minima converge to the true per-side costs and
+// their ratio is stable to a few tenths of a percent — where a single
+// -benchtime=1x sample against an averaged baseline flaps by several
+// percent.
+func pairedMinDurations(rounds int, baseline, candidate func()) (base, cand time.Duration) {
+	base, cand = -1, -1
+	timeIt := func(fn func()) time.Duration {
+		runtime.GC()
+		start := time.Now()
 		fn()
+		return time.Since(start)
 	}
-	return time.Since(start) / reps
+	for r := 0; r < rounds; r++ {
+		// Alternate which side runs first (ABBA) so periodic interference —
+		// a neighbor VM stealing the CPU on a fixed cadence — cannot stay
+		// phase-aligned with one side across every round.
+		if r%2 == 0 {
+			if d := timeIt(baseline); base < 0 || d < base {
+				base = d
+			}
+			if d := timeIt(candidate); cand < 0 || d < cand {
+				cand = d
+			}
+		} else {
+			if d := timeIt(candidate); cand < 0 || d < cand {
+				cand = d
+			}
+			if d := timeIt(baseline); base < 0 || d < base {
+				base = d
+			}
+		}
+	}
+	return base, cand
 }
 
-func reportSpeedup(b *testing.B, serial time.Duration) {
-	if b.N > 0 && b.Elapsed() > 0 {
-		perOp := b.Elapsed() / time.Duration(b.N)
-		b.ReportMetric(float64(serial)/float64(perOp), "speedup")
-	}
+// reportSpeedup reports baseline/candidate as the "speedup" metric, rounded
+// to one decimal — the honest precision of a paired-minimum measurement on
+// a shared machine (two minima of the *same* workload still land a percent
+// or two apart): real regressions still move the number, while sub-noise
+// digits stop flapping the recorded baseline.
+func reportSpeedup(b *testing.B, baseline, candidate time.Duration) {
+	b.ReportMetric(math.Round(float64(baseline)/float64(candidate)*10)/10, "speedup")
 }
 
 // benchCounters enables kernel-counter collection and returns a stop
@@ -356,6 +394,11 @@ func benchCounters(b *testing.B) func() {
 	}
 }
 
+// perPairSBD forces the generic per-pair PairwiseMatrixWorkers path (three
+// full-size FFTs per pair, allocating per call) by hiding SBD behind a
+// Func: the baseline the cached-spectra batch path is measured against.
+var perPairSBD = dist.Func{Label: "SBD", Fn: dist.SBDDist}
+
 func BenchmarkDistanceMatrixSBDSerial(b *testing.B) {
 	data := ts.Rows(dataset.CBF(120, 128, 1))
 	stop := benchCounters(b)
@@ -368,9 +411,31 @@ func BenchmarkDistanceMatrixSBDSerial(b *testing.B) {
 	stop()
 }
 
+// BenchmarkDistanceMatrixSBDPerPair keeps the legacy per-pair matrix build
+// measured so its cost stays visible next to the batch path it was
+// replaced by.
+func BenchmarkDistanceMatrixSBDPerPair(b *testing.B) {
+	data := ts.Rows(dataset.CBF(120, 128, 1))
+	stop := benchCounters(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.PairwiseMatrixWorkers(perPairSBD, data, 1)
+	}
+	b.StopTimer()
+	stop()
+}
+
+// BenchmarkDistanceMatrixSBDParallel times the production pairwise path —
+// cached spectra at benchParallelWorkers — and reports as "speedup" its
+// gain over the serial per-pair implementation (the code every caller ran
+// before the spectrum cache): the end-to-end effect of RFFT + cached
+// spectra + batch NCC + the parallel layer on one matrix build.
 func BenchmarkDistanceMatrixSBDParallel(b *testing.B) {
 	data := ts.Rows(dataset.CBF(120, 128, 1))
-	serial := serialBaseline(func() { dist.PairwiseMatrixWorkers(dist.SBDMeasure{}, data, 1) })
+	serial, parallel := pairedMinDurations(10,
+		func() { dist.PairwiseMatrixWorkers(perPairSBD, data, 1) },
+		func() { dist.PairwiseMatrixWorkers(dist.SBDMeasure{}, data, benchParallelWorkers) })
 	stop := benchCounters(b)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -379,7 +444,30 @@ func BenchmarkDistanceMatrixSBDParallel(b *testing.B) {
 	}
 	b.StopTimer()
 	stop()
-	reportSpeedup(b, serial)
+	reportSpeedup(b, serial, parallel)
+}
+
+// BenchmarkDistanceMatrixSBDBatchSteady pins the steady-state allocation
+// behavior of the batch pairwise kernel: spectra cached, output matrix and
+// scratch preallocated, so the measured loop is pure spectral products,
+// half-size inverse transforms, and lag scans — 0 B/op by construction,
+// gated in BENCH_kshape.json.
+func BenchmarkDistanceMatrixSBDBatchSteady(b *testing.B) {
+	data := ts.Rows(dataset.CBF(120, 128, 1))
+	batch := dist.NewSBDBatch(data)
+	out := make([][]float64, batch.Len())
+	for i := range out {
+		out[i] = make([]float64, batch.Len())
+	}
+	batch.PairwiseInto(out, 1) // warm the scratch pool
+	stop := benchCounters(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.PairwiseInto(out, 1)
+	}
+	b.StopTimer()
+	stop()
 }
 
 // BenchmarkDistanceMatrixSBDRecorder measures the flight recorder's cost
@@ -455,11 +543,17 @@ func BenchmarkKShapeRefinementSerial(b *testing.B) {
 
 func BenchmarkKShapeRefinementParallel(b *testing.B) {
 	data := ts.Rows(dataset.CBF(240, 128, 1))
-	serial := serialBaseline(func() {
-		if _, err := core.KShapeRun(data, 3, rand.New(rand.NewSource(1)), core.KShapeOpts{Workers: 1}); err != nil {
-			b.Fatal(err)
-		}
-	})
+	serial, parallel := pairedMinDurations(10,
+		func() {
+			if _, err := core.KShapeRun(data, 3, rand.New(rand.NewSource(1)), core.KShapeOpts{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		},
+		func() {
+			if _, err := core.KShapeRun(data, 3, rand.New(rand.NewSource(1)), core.KShapeOpts{Workers: benchParallelWorkers}); err != nil {
+				b.Fatal(err)
+			}
+		})
 	stop := benchCounters(b)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -470,7 +564,7 @@ func BenchmarkKShapeRefinementParallel(b *testing.B) {
 	}
 	b.StopTimer()
 	stop()
-	reportSpeedup(b, serial)
+	reportSpeedup(b, serial, parallel)
 }
 
 func BenchmarkOneNNSerial(b *testing.B) {
@@ -489,7 +583,9 @@ func BenchmarkOneNNSerial(b *testing.B) {
 func BenchmarkOneNNParallel(b *testing.B) {
 	train := dataset.CBF(90, 128, 1)
 	test := dataset.CBF(60, 128, 2)
-	serial := serialBaseline(func() { eval.OneNNAccuracyWorkers(dist.SBDMeasure{}, train, test, 1) })
+	serial, parallel := pairedMinDurations(10,
+		func() { eval.OneNNAccuracyWorkers(dist.SBDMeasure{}, train, test, 1) },
+		func() { eval.OneNNAccuracyWorkers(dist.SBDMeasure{}, train, test, benchParallelWorkers) })
 	stop := benchCounters(b)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -498,7 +594,7 @@ func BenchmarkOneNNParallel(b *testing.B) {
 	}
 	b.StopTimer()
 	stop()
-	reportSpeedup(b, serial)
+	reportSpeedup(b, serial, parallel)
 }
 
 func BenchmarkSBD1024(b *testing.B) {

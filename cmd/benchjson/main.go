@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchtime=1x -run='^$' . > bench.out
+//	go test -bench=. -benchtime=1s -count=5 -run='^$' . > bench.out
 //	benchjson -o BENCH_kshape.json bench.out
+//
+// With -count=N input each benchmark keeps its fastest run only (see
+// benchfmt.Parse): background interference only ever slows a run down,
+// so the minimum is the least-noisy sample.
 //
 // Schema (kshape.bench/v1): one object with build/host metadata and one
 // entry per benchmark carrying iterations, ns/op, and every additional

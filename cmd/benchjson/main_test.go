@@ -64,6 +64,38 @@ func TestParseSampleOutput(t *testing.T) {
 	}
 }
 
+// TestParseCollapsesRepeatedRuns covers `go test -count=N` input: each
+// benchmark keeps only its fastest run, with that run's sibling metrics,
+// and the report stays valid (no duplicate names).
+func TestParseCollapsesRepeatedRuns(t *testing.T) {
+	const repeated = `goos: linux
+pkg: kshape
+BenchmarkSBD128-8   	100	     20000 ns/op	    64 B/op	       2 allocs/op
+BenchmarkED128-8   	1000	        80.0 ns/op
+BenchmarkSBD128-8   	120	     17000 ns/op	    48 B/op	       1 allocs/op
+BenchmarkED128-8   	1000	        95.0 ns/op
+BenchmarkSBD128-8   	110	     18000 ns/op	    64 B/op	       2 allocs/op
+PASS
+`
+	rep, err := Parse(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(rep.Benchmarks))
+	}
+	sbd := rep.Benchmarks[0]
+	if sbd.Name != "SBD128" || sbd.NsPerOp != 17000 || sbd.Iterations != 120 {
+		t.Errorf("fastest SBD128 run not kept: %+v", sbd)
+	}
+	if sbd.Metrics["B/op"] != 48 || sbd.Metrics["allocs/op"] != 1 {
+		t.Errorf("metrics should come from the fastest run, got %v", sbd.Metrics)
+	}
+	if ed := rep.Benchmarks[1]; ed.Name != "ED128" || ed.NsPerOp != 80 {
+		t.Errorf("fastest ED128 run not kept: %+v", ed)
+	}
+}
+
 func TestParseRejectsEmptyInput(t *testing.T) {
 	if _, err := Parse(strings.NewReader("PASS\nok  kshape 0.1s\n")); err == nil {
 		t.Error("input without benchmarks should fail validation")

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"kshape/internal/dist"
+	"kshape/internal/ts"
+)
+
+// TestAlignMembersAllocFree pins the refinement inner loop — shift-search
+// plus in-place member alignment — at zero allocations: all buffers (the
+// cached query, the scratch, and the aligned rows) are provided by the
+// caller, so iterating the k-Shape loop does not grow the heap with the
+// cluster sizes.
+func TestAlignMembersAllocFree(t *testing.T) {
+	data, _ := twoClassShiftedData(12, 64, rand.New(rand.NewSource(21)))
+	m := len(data[0])
+	batch := dist.NewSBDBatch(data)
+	centroid := ts.ZNormalize(append([]float64(nil), data[0]...))
+	q := batch.Query(centroid)
+	sc := batch.Scratch()
+	idxs := make([]int, len(data))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	rows := ts.NewMatrix(len(data), m)
+	if n := testing.AllocsPerRun(50, func() {
+		alignMembers(q, sc, data, idxs, rows)
+	}); n != 0 {
+		t.Errorf("alignMembers allocates %v per run, want 0", n)
+	}
+}

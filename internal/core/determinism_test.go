@@ -103,6 +103,90 @@ func TestKShapeRunDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestKShapeSpectrumCacheWarmVsCold pins the correctness contract of the
+// spectrum cache: a cache-cold run (every centroid spectrum recomputed and
+// every cluster refined each iteration) must produce bit-identical labels,
+// centroids, inertia, and iteration trajectory to the cached run, at every
+// worker count. Kernel counters are exempt — skipping redundant transforms
+// is the whole point — but everything observable in the clustering must
+// match.
+func TestKShapeSpectrumCacheWarmVsCold(t *testing.T) {
+	data, _ := twoClassShiftedData(20, 48, rand.New(rand.NewSource(7)))
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	run := func(cold bool, workers int) *runSnapshot {
+		disableSpectrumCache = cold
+		defer func() { disableSpectrumCache = false }()
+		snap := &runSnapshot{}
+		before := obs.ReadCounters()
+		res, err := KShapeRun(data, 3, rand.New(rand.NewSource(11)), KShapeOpts{
+			OnIteration: snap.record,
+			Workers:     workers,
+		})
+		if err != nil {
+			t.Fatalf("cold=%v workers=%d: %v", cold, workers, err)
+		}
+		snap.res = *res
+		snap.counters = obs.ReadCounters().Sub(before)
+		return snap
+	}
+
+	warm := run(false, 1)
+	for _, w := range workerCounts {
+		cold := run(true, w)
+		// Counter totals legitimately differ between the modes; compare
+		// everything else bit for bit.
+		cold.counters = warm.counters
+		snapshotsEqual(t, warm, cold, "cache-cold workers="+strconv.Itoa(w))
+
+		hot := run(false, w)
+		snapshotsEqual(t, warm, hot, "cache-warm workers="+strconv.Itoa(w))
+	}
+}
+
+// TestKShapeSpectrumCachePartialInvalidation proves the cache actually
+// skips work in the partial-invalidation regime — a multi-iteration run in
+// which some centroids settle while others still move — by comparing
+// forward-transform totals between the cached and cache-cold modes on an
+// output-identical run.
+func TestKShapeSpectrumCachePartialInvalidation(t *testing.T) {
+	// This data/rng seed pair converges in 11 iterations, so most
+	// iterations run with a mix of settled and moving centroids.
+	data, _ := twoClassShiftedData(20, 48, rand.New(rand.NewSource(1)))
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	run := func(cold bool) (*Result, obs.Counters) {
+		disableSpectrumCache = cold
+		defer func() { disableSpectrumCache = false }()
+		before := obs.ReadCounters()
+		res, err := KShapeRun(data, 3, rand.New(rand.NewSource(11)), KShapeOpts{Workers: 1})
+		if err != nil {
+			t.Fatalf("cold=%v: %v", cold, err)
+		}
+		return res, obs.ReadCounters().Sub(before)
+	}
+
+	warmRes, warmC := run(false)
+	coldRes, coldC := run(true)
+	if warmRes.Iterations < 3 {
+		t.Fatalf("run converged in %d iterations; need >= 3 for a warm cache to matter", warmRes.Iterations)
+	}
+	if warmRes.Inertia != coldRes.Inertia {
+		t.Fatalf("inertia diverged: warm %v, cold %v", warmRes.Inertia, coldRes.Inertia)
+	}
+	// Cold recomputes one forward transform per centroid per phase per
+	// iteration; warm re-transforms only centroids that moved. With
+	// settled clusters the totals must drop strictly.
+	if warmC.FFT >= coldC.FFT {
+		t.Errorf("cached run did %d forward transforms, cold %d; cache produced no savings", warmC.FFT, coldC.FFT)
+	}
+	if warmC.SBD != coldC.SBD && warmC.SBD > coldC.SBD {
+		t.Errorf("cached run did more SBD evaluations (%d) than cold (%d)", warmC.SBD, coldC.SBD)
+	}
+}
+
 // TestLloydDeterministicAcrossWorkers checks the generic engine with an
 // ED/mean configuration (k-means): identical output for every worker count.
 func TestLloydDeterministicAcrossWorkers(t *testing.T) {

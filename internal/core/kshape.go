@@ -420,56 +420,114 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 		centroids[j] = make([]float64, m)
 	}
 	assignDist := make([]float64, n)
-	queries := make([]*dist.SBDQuery, k)
 	res := &Result{Labels: labels, Centroids: centroids}
 	prev := make([]int, n)
 	observe := newIterationObserver(opt.OnIteration, opt.Logger)
+
+	// All per-iteration state is allocated once, outside the loop, so the
+	// steady-state iterations are allocation-free apart from the eigen
+	// solve inside shape extraction:
+	//   - queries caches one prepared spectrum per centroid; specFresh[j]
+	//     records that queries[j] still matches centroids[j], so a centroid
+	//     that did not move between iterations is never re-transformed.
+	//   - settled[j] records that the last refinement reproduced
+	//     centroids[j] bit for bit; combined with an unchanged member set
+	//     the whole refinement of cluster j is a no-op and is skipped.
+	//   - order/starts group member indices per cluster by counting sort
+	//     (ascending within each cluster, exactly like the append-based
+	//     grouping it replaces), and alignRows is the n×m backing the
+	//     aligned members are shifted into.
+	queries := make([]*dist.SBDQuery, k)
+	specFresh := make([]bool, k)
+	settled := make([]bool, k)
+	membersChanged := make([]bool, k)
+	for j := range membersChanged {
+		membersChanged[j] = true
+	}
+	order := make([]int, n)
+	starts := make([]int, k+1)
+	fill := make([]int, k)
+	alignRows := ts.NewMatrix(n, m)
+
 	for iter := 0; iter < maxIter; iter++ {
 		copy(prev, labels)
 
+		// Group member indices per cluster: counting sort into order, with
+		// cluster j occupying order[starts[j]:starts[j+1]].
+		for j := range fill {
+			starts[j] = 0
+			fill[j] = 0
+		}
+		starts[k] = 0
+		for _, l := range labels {
+			starts[l+1]++
+		}
+		for j := 0; j < k; j++ {
+			starts[j+1] += starts[j]
+			fill[j] = starts[j]
+		}
+		for i, l := range labels {
+			order[fill[l]] = i
+			fill[l]++
+		}
+
 		// Refinement: align members to the previous centroid with one
 		// batched query, then extract the new shape. Clusters refine in
-		// parallel; each goroutine owns its cluster's query and scratch.
+		// parallel; each goroutine owns its cluster's query and a pooled
+		// scratch. A cluster whose membership did not change and whose
+		// last refinement was a bitwise fixed point is skipped outright —
+		// recomputing it would reproduce the same centroid from the same
+		// inputs.
 		refineSW := obs.NewStopwatch()
-		memberIdx := make([][]int, k)
-		for i, l := range labels {
-			memberIdx[l] = append(memberIdx[l], i)
-		}
 		par.For(opt.Workers, k, func(j int) {
-			idxs := memberIdx[j]
-			if len(idxs) == 0 {
-				centroids[j] = make([]float64, m)
+			if !disableSpectrumCache && settled[j] && !membersChanged[j] {
 				return
 			}
-			aligned := make([][]float64, len(idxs))
+			idxs := order[starts[j]:starts[j+1]]
+			if len(idxs) == 0 {
+				centroids[j] = make([]float64, m)
+				settled[j], specFresh[j] = false, false
+				return
+			}
+			rows := alignRows[starts[j]:starts[j+1]]
 			if isAllZero(centroids[j]) {
 				for t, i := range idxs {
-					aligned[t] = data[i]
+					copy(rows[t], data[i])
 				}
 			} else {
-				q := batch.Query(centroids[j])
-				for t, i := range idxs {
-					_, shift := q.Distance(i)
-					aligned[t] = ts.Shift(data[i], shift)
+				if disableSpectrumCache || !specFresh[j] {
+					queries[j] = batch.QueryInto(queries[j], centroids[j])
+					specFresh[j] = true
 				}
+				sc := batch.AcquireScratch()
+				alignMembers(queries[j], sc, data, idxs, rows)
+				batch.ReleaseScratch(sc)
 			}
-			centroids[j] = avg.ShapeExtractionAligned(aligned)
+			newC := avg.ShapeExtractionAligned(rows)
+			settled[j] = equalFloatBits(newC, centroids[j])
+			centroids[j] = newC
+			if !settled[j] {
+				specFresh[j] = false
+			}
 		})
 		refineNS := refineSW.ElapsedNS()
 		obs.RecordPhaseSpan(obs.PhaseRefine, refineNS)
 
-		// Assignment: one batched query per centroid (prepared in
-		// parallel — exactly k forward FFTs, like the serial loop), then
-		// a parallel scan over series; each worker chunk brings its own
-		// inverse-FFT scratch so the queries are shared read-only. The
-		// per-series centroid scan is ascending with a strict comparison,
-		// so labels are worker-count independent.
+		// Assignment: refresh the cached query of every centroid that
+		// moved (at most k forward FFTs, fewer on later iterations as
+		// centroids settle), then a parallel scan over series; each worker
+		// chunk brings its own pooled inverse-FFT scratch so the queries
+		// are shared read-only. The per-series centroid scan is ascending
+		// with a strict comparison, so labels are worker-count independent.
 		assignSW := obs.NewStopwatch()
 		par.For(opt.Workers, k, func(j int) {
-			queries[j] = batch.Query(centroids[j])
+			if disableSpectrumCache || !specFresh[j] {
+				queries[j] = batch.QueryInto(queries[j], centroids[j])
+				specFresh[j] = true
+			}
 		})
-		par.ForChunks(opt.Workers, n, func(lo, hi int) {
-			scratch := batch.Scratch()
+		par.ForChunksMin(opt.Workers, n, assignMinPerChunk, func(lo, hi int) {
+			scratch := batch.AcquireScratch()
 			for i := lo; i < hi; i++ {
 				best, bestJ := math.Inf(1), labels[i]
 				for j := 0; j < k; j++ {
@@ -480,11 +538,24 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 				labels[i] = bestJ
 				assignDist[i] = best
 			}
+			batch.ReleaseScratch(scratch)
 		})
 
 		assignNS := assignSW.ElapsedNS()
 		obs.RecordPhaseSpan(obs.PhaseAssign, assignNS)
 		reseeds := reseedEmptyClusters(data, labels, assignDist, k)
+		// Membership deltas (including reseeds) drive the next iteration's
+		// refinement skip: only clusters that gained or lost a member need
+		// their centroid recomputed — unless they hadn't settled yet.
+		for j := range membersChanged {
+			membersChanged[j] = false
+		}
+		for i := range labels {
+			if labels[i] != prev[i] {
+				membersChanged[labels[i]] = true
+				membersChanged[prev[i]] = true
+			}
+		}
 		observeIterationTelemetry(iter, refineNS, assignNS, refineSW)
 		res.Iterations = iter + 1
 		converged := equalLabels(labels, prev)
@@ -499,6 +570,42 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 	}
 	publishClusterSizes(labels, k)
 	return res, nil
+}
+
+// assignMinPerChunk floors the per-chunk series count of the assignment
+// scan so par's chunk handoff is amortized over several inverse transforms.
+const assignMinPerChunk = 4
+
+// disableSpectrumCache is a test hook: when set, KShapeRun recomputes every
+// centroid spectrum and refinement each iteration (cache-cold behavior).
+// The clustering output must be identical either way — only kernel-counter
+// totals may differ.
+var disableSpectrumCache bool
+
+// alignMembers shifts each member series data[idxs[t]] into rows[t],
+// aligned toward the query's centroid (Algorithm 1's alignment step for one
+// cluster). It allocates nothing: the shift search runs in the provided
+// scratch and the shifted series land in the preallocated rows.
+func alignMembers(q *dist.SBDQuery, sc *dist.SBDScratch, data [][]float64, idxs []int, rows [][]float64) {
+	for t, i := range idxs {
+		_, shift := q.DistanceScratch(i, sc)
+		ts.ShiftInto(rows[t], data[i], shift)
+	}
+}
+
+// equalFloatBits reports whether a and b are elementwise bit-identical —
+// the fixed-point test of the refinement skip (NaN-safe and distinguishing
+// ±0, unlike ==).
+func equalFloatBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 func isAllZero(x []float64) bool {

@@ -1,0 +1,94 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"kshape/internal/ts"
+)
+
+// These allocation-regression tests pin the zero-allocation property of the
+// steady-state batch SBD kernels: once a batch, query, and scratch exist,
+// computing distances must not touch the heap. testing.AllocsPerRun runs
+// the body on a single P, so the numbers are exact, not averages over
+// scheduler noise; the pooled (AcquireScratch) paths are deliberately not
+// asserted here because sync.Pool may legitimately refill after a GC.
+
+func allocBatch(n, m int, seed int64) ([][]float64, *SBDBatch) {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = ts.ZNormalize(randSeries(m, rng))
+	}
+	return data, NewSBDBatch(data)
+}
+
+func TestPairDistanceAllocFree(t *testing.T) {
+	_, b := allocBatch(8, 128, 3)
+	sc := b.Scratch()
+	i := 0
+	if n := testing.AllocsPerRun(100, func() {
+		b.PairDistance(i, (i+3)%b.Len(), sc)
+		i = (i + 1) % b.Len()
+	}); n != 0 {
+		t.Errorf("PairDistance allocates %v per op, want 0", n)
+	}
+}
+
+func TestQueryDistanceAllocFree(t *testing.T) {
+	data, b := allocBatch(8, 128, 4)
+	q := b.Query(data[0])
+	i := 0
+	if n := testing.AllocsPerRun(100, func() {
+		q.Distance(i)
+		i = (i + 1) % b.Len()
+	}); n != 0 {
+		t.Errorf("Distance allocates %v per op, want 0", n)
+	}
+	sc := b.Scratch()
+	if n := testing.AllocsPerRun(100, func() {
+		q.DistanceScratch(i, sc)
+		i = (i + 1) % b.Len()
+	}); n != 0 {
+		t.Errorf("DistanceScratch allocates %v per op, want 0", n)
+	}
+}
+
+func TestQueryIntoNearestAllocFree(t *testing.T) {
+	data, b := allocBatch(8, 128, 5)
+	queries := make([][]float64, 4)
+	rng := rand.New(rand.NewSource(6))
+	for i := range queries {
+		queries[i] = ts.ZNormalize(randSeries(128, rng))
+	}
+	q := b.Query(data[0]) // allocate the reusable buffers once
+	i := 0
+	if n := testing.AllocsPerRun(50, func() {
+		q = b.QueryInto(q, queries[i%len(queries)])
+		q.Nearest()
+		i++
+	}); n != 0 {
+		t.Errorf("QueryInto+Nearest allocates %v per op, want 0", n)
+	}
+}
+
+func TestPairwiseIntoRowLoopAllocFree(t *testing.T) {
+	// The inner row loop of PairwiseInto: one scratch serving a whole row
+	// of pair distances, as each worker chunk runs it.
+	_, b := allocBatch(10, 64, 7)
+	out := make([][]float64, b.Len())
+	for i := range out {
+		out[i] = make([]float64, b.Len())
+	}
+	sc := b.Scratch()
+	if n := testing.AllocsPerRun(20, func() {
+		for i := 0; i < b.Len(); i++ {
+			row := out[i]
+			for j := i + 1; j < b.Len(); j++ {
+				row[j], _ = b.PairDistance(i, j, sc)
+			}
+		}
+	}); n != 0 {
+		t.Errorf("pairwise row loop allocates %v per run, want 0", n)
+	}
+}

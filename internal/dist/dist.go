@@ -55,6 +55,13 @@ func PairwiseMatrixWorkers(d Measure, data [][]float64, workers int) [][]float64
 	for i := range out {
 		out[i] = backing[i*n : (i+1)*n]
 	}
+	// The optimized SBD routes through the spectrum cache: one forward
+	// transform per series instead of two per pair, pooled per-worker
+	// scratch, and a half-size inverse per pair.
+	if _, ok := d.(SBDMeasure); ok && n > 0 && len(data[0]) > 0 {
+		NewSBDBatch(data).PairwiseInto(out, workers)
+		return out
+	}
 	// Row i costs n-1-i evaluations; par's dynamic chunk scheduling keeps
 	// workers busy despite the triangular skew.
 	par.For(workers, n, func(i int) {

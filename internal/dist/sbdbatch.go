@@ -3,23 +3,46 @@ package dist
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
+	"sync"
 
 	"kshape/internal/fft"
 	"kshape/internal/obs"
+	"kshape/internal/par"
 	"kshape/internal/ts"
 )
 
-// SBDBatch precomputes the Fourier spectra of a fixed collection of
-// equal-length series so that repeated SBD computations against changing
-// queries (the k-Shape assignment and alignment steps, where the data is
-// fixed and only centroids move) need just one forward FFT per query and
-// one inverse FFT per pair, instead of three FFTs per pair.
+// Cache-blocking floors for the batch loops: par's dynamic chunking is
+// amortized over at least this many rows/queries per worker handoff, so a
+// chunk claim (one atomic add plus a cache-line bounce) never dominates the
+// O(m log m) kernel work inside it. Larger floors would under-split small
+// inputs and starve the dynamic balancing on skewed loops.
+const (
+	pairwiseMinRows  = 2
+	nearestMinPerJob = 4
+)
+
+// SBDBatch precomputes the real-input (RFFT) half-spectra of a fixed
+// collection of equal-length series so that repeated SBD computations
+// against changing queries (the k-Shape assignment and alignment steps,
+// where the data is fixed and only centroids move) need just one forward
+// transform per query and one half-size inverse transform per pair, instead
+// of three full-size FFTs per pair. The half-spectrum layout stores only
+// bins 0..l/2 (the rest is the conjugate mirror), halving both the
+// transform work and the cached bytes relative to the previous full-
+// spectrum cache.
+//
+// The precomputed spectra are read-only after construction, so one batch is
+// shared by any number of goroutines; all mutable per-computation state
+// lives in SBDScratch buffers (one per goroutine, pooled via
+// AcquireScratch/ReleaseScratch) and in SBDQuery values.
 type SBDBatch struct {
 	m    int            // series length
 	l    int            // padded transform length (power of two >= 2m-1)
-	conj [][]complex128 // conj(FFT(x_i)), ready for the correlation product
+	half int            // l / 2
+	plan *fft.RFFT      // shared transform plan for length l
+	spec [][]complex128 // conj(RFFT(x_i)) half-spectra, length half+1 each
 	norm []float64      // ‖x_i‖
+	pool sync.Pool      // *SBDScratch, reused across chunks and iterations
 }
 
 // NewSBDBatch precomputes spectra for data. All series must share one
@@ -30,88 +53,251 @@ func NewSBDBatch(data [][]float64) *SBDBatch {
 		return &SBDBatch{}
 	}
 	m := len(data[0])
+	l := fft.NextPow2(2*m - 1)
 	b := &SBDBatch{
 		m:    m,
-		l:    fft.NextPow2(2*m - 1),
-		conj: make([][]complex128, len(data)),
+		l:    l,
+		half: l / 2,
+		plan: fft.NewRFFT(l),
+		spec: make([][]complex128, len(data)),
 		norm: make([]float64, len(data)),
 	}
+	work := make([]complex128, b.plan.WorkLen())
 	for i, x := range data {
 		if len(x) != m {
 			panic(fmt.Sprintf("dist: SBDBatch length mismatch at %d: %d vs %d", i, len(x), m))
 		}
-		spec := fft.ForwardReal(x, b.l)
+		spec := make([]complex128, b.plan.SpectrumLen())
+		b.plan.Forward(x, spec, work)
 		for k := range spec {
-			spec[k] = cmplx.Conj(spec[k])
+			spec[k] = complex(real(spec[k]), -imag(spec[k]))
 		}
-		b.conj[i] = spec
+		b.spec[i] = spec
 		b.norm[i] = ts.Norm(x)
 	}
 	return b
 }
 
 // Len returns the number of series in the batch.
-func (b *SBDBatch) Len() int { return len(b.conj) }
+func (b *SBDBatch) Len() int { return len(b.spec) }
 
-// SBDQuery holds the spectrum of one query series plus scratch buffers; it
-// is not safe for concurrent use, but queries are cheap to create.
+// SBDScratch holds the per-goroutine buffers of one in-flight SBD
+// computation: the spectral product, the half-size transform workspace, and
+// the real correlation output. Scratches are tied to the batch geometry
+// that created them and must not be shared between concurrent goroutines.
+type SBDScratch struct {
+	prod []complex128 // half+1: query spectrum × cached conjugate spectrum
+	work []complex128 // half: RFFT internal workspace
+	cc   []float64    // l: real cross-correlation, circularly laid out
+}
+
+// Scratch allocates a fresh buffer set usable with DistanceScratch and
+// PairDistance. Each goroutine sharing one prepared query needs its own.
+func (b *SBDBatch) Scratch() *SBDScratch {
+	return &SBDScratch{
+		prod: make([]complex128, b.half+1),
+		work: make([]complex128, b.half),
+		cc:   make([]float64, b.l),
+	}
+}
+
+// AcquireScratch returns a scratch from the batch's internal pool (or a
+// fresh one), for loops whose chunk bodies want allocation-free steady
+// state without threading buffers through their callers. Pair it with
+// ReleaseScratch.
+func (b *SBDBatch) AcquireScratch() *SBDScratch {
+	if sc, ok := b.pool.Get().(*SBDScratch); ok {
+		return sc
+	}
+	return b.Scratch()
+}
+
+// ReleaseScratch returns a scratch obtained from AcquireScratch to the
+// pool.
+func (b *SBDBatch) ReleaseScratch(sc *SBDScratch) { b.pool.Put(sc) }
+
+// SBDQuery holds the half-spectrum of one query series plus an owned
+// scratch. One query is not safe for concurrent use through Distance or
+// Nearest (they use the owned scratch), but its spectrum is read-only, so
+// any number of goroutines may share it through DistanceScratch with their
+// own buffers.
 type SBDQuery struct {
-	batch   *SBDBatch
-	spec    []complex128
-	norm    float64
-	scratch []complex128
+	batch *SBDBatch
+	spec  []complex128 // RFFT(q), not conjugated
+	norm  float64
+	own   *SBDScratch
 }
 
 // Query prepares q (length m) for repeated distance computations against
 // the batch.
-func (b *SBDBatch) Query(q []float64) *SBDQuery {
+func (b *SBDBatch) Query(q []float64) *SBDQuery { return b.QueryInto(nil, q) }
+
+// QueryInto is Query writing into dst's buffers (allocating them only on
+// first use, or when dst is nil or belongs to another batch): one forward
+// transform and no allocations in steady state. It returns dst, so cached
+// queries can be refreshed in place when a centroid changes:
+//
+//	queries[j] = batch.QueryInto(queries[j], centroids[j])
+func (b *SBDBatch) QueryInto(dst *SBDQuery, q []float64) *SBDQuery {
 	if len(q) != b.m {
 		panic(fmt.Sprintf("dist: SBDBatch query length %d, want %d", len(q), b.m))
 	}
-	return &SBDQuery{
-		batch:   b,
-		spec:    fft.ForwardReal(q, b.l),
-		norm:    ts.Norm(q),
-		scratch: make([]complex128, b.l),
+	if dst == nil {
+		dst = &SBDQuery{}
 	}
+	if dst.batch != b || dst.own == nil {
+		dst.batch = b
+		dst.spec = make([]complex128, b.plan.SpectrumLen())
+		dst.own = b.Scratch()
+	}
+	b.plan.Forward(q, dst.spec, dst.own.work)
+	dst.norm = ts.Norm(q)
+	return dst
 }
 
 // Distance returns SBD(q, x_i) and the shift aligning x_i toward q
 // (aligned x_i = ts.Shift(x_i, shift)), exactly matching SBD/Algorithm 1.
 func (s *SBDQuery) Distance(i int) (dist float64, shift int) {
-	return s.DistanceScratch(i, s.scratch)
+	return s.DistanceScratch(i, s.own)
 }
 
-// Scratch allocates a buffer usable with DistanceScratch. Each goroutine
-// sharing one SBDQuery needs its own.
-func (b *SBDBatch) Scratch() []complex128 { return make([]complex128, b.l) }
-
-// DistanceScratch is Distance computed in the caller-provided scratch
-// buffer (length SBDBatch.Scratch()), which lets multiple goroutines share
-// one prepared query — the query's spectrum is only read — without
-// repeating its forward FFT.
-func (s *SBDQuery) DistanceScratch(i int, scratch []complex128) (dist float64, shift int) {
+// DistanceScratch is Distance computed in the caller-provided scratch,
+// which lets multiple goroutines share one prepared query — the query's
+// spectrum is only read — without repeating its forward transform.
+func (s *SBDQuery) DistanceScratch(i int, sc *SBDScratch) (dist float64, shift int) {
 	obs.Inc(obs.CounterSBD)
 	b := s.batch
-	m := b.m
 	den := s.norm * b.norm[i]
 	//lint:ignore floatcmp exact zero-norm guard before dividing by it
 	if den == 0 {
 		return 1, 0 // degenerate-input convention, as in SBD
 	}
-	for k, c := range b.conj[i] {
-		scratch[k] = s.spec[k] * c
+	ci := b.spec[i]
+	for k, c := range ci {
+		sc.prod[k] = s.spec[k] * c
 	}
-	fft.Inverse(scratch)
-	best, bestLag := math.Inf(-1), 0
-	for lag := -(m - 1); lag <= m-1; lag++ {
-		idx := lag
-		if idx < 0 {
-			idx += b.l
+	b.plan.Inverse(sc.prod, sc.cc, sc.work)
+	return scanCC(sc.cc, b.m, b.l, den)
+}
+
+// Nearest returns the batch index minimizing SBD(q, x_i) together with
+// that distance, breaking ties toward the smaller index — exactly the
+// result of NNIndex over the same series. It uses the query's owned
+// scratch; Len()==0 yields (-1, +Inf).
+func (s *SBDQuery) Nearest() (idx int, dist float64) {
+	best, bestIdx := math.Inf(1), -1
+	for i := range s.batch.spec {
+		if d, _ := s.DistanceScratch(i, s.own); d < best {
+			best, bestIdx = d, i
 		}
-		if v := real(scratch[idx]); v > best {
+	}
+	return bestIdx, best
+}
+
+// PairDistance returns SBD(x_i, x_j) between two cached series and the
+// shift aligning x_j toward x_i, without any forward transform: the
+// spectral product is assembled directly from the two cached conjugate
+// half-spectra (conj(conj(S_i)·) recovers S_i).
+func (b *SBDBatch) PairDistance(i, j int, sc *SBDScratch) (dist float64, shift int) {
+	obs.Inc(obs.CounterSBD)
+	den := b.norm[i] * b.norm[j]
+	//lint:ignore floatcmp exact zero-norm guard before dividing by it
+	if den == 0 {
+		return 1, 0
+	}
+	ci, cj := b.spec[i], b.spec[j]
+	for k := range ci {
+		sc.prod[k] = complex(real(ci[k]), -imag(ci[k])) * cj[k]
+	}
+	b.plan.Inverse(sc.prod, sc.cc, sc.work)
+	return scanCC(sc.cc, b.m, b.l, den)
+}
+
+// scanCC finds the maximum of the circularly laid-out correlation over the
+// valid lags -(m-1)..m-1 and converts it to (distance, shift). The scan
+// visits lags in ascending order with a strict comparison — the exact
+// tie-break of the per-pair SBD scan — but walks the two contiguous runs of
+// the circular buffer (negative lags at the tail, non-negative at the head)
+// instead of jumping between them per lag.
+func scanCC(cc []float64, m, l int, den float64) (float64, int) {
+	best, bestLag := math.Inf(-1), 0
+	for lag := -(m - 1); lag < 0; lag++ {
+		if v := cc[lag+l]; v > best {
+			best, bestLag = v, lag
+		}
+	}
+	for lag := 0; lag <= m-1; lag++ {
+		if v := cc[lag]; v > best {
 			best, bestLag = v, lag
 		}
 	}
 	return 1 - best/den, bestLag
+}
+
+// PairwiseInto fills the preallocated n×n matrix out (n = Len) with all
+// pairwise SBD distances from the cached spectra: one half-size inverse
+// transform per upper-triangle pair and zero allocations in steady state
+// (per-worker scratch comes from the batch pool). Rows are distributed
+// dynamically with a cache-blocked floor of pairwiseMinRows rows per chunk;
+// the result is identical for every worker count.
+func (b *SBDBatch) PairwiseInto(out [][]float64, workers int) {
+	n := len(b.spec)
+	if par.Resolve(workers) == 1 && obs.ActiveRecorder() == nil {
+		// Serial fast path: dispatching through ForChunksMin would heap-
+		// allocate the chunk closure on every build (it escapes into the
+		// worker-pool branch), which is the one allocation between a
+		// prepared batch and a zero-alloc steady state. With no flight
+		// recorder installed there is no chunk attribution to record, so
+		// the inline loop is observationally identical.
+		sc := b.AcquireScratch()
+		b.pairwiseRows(out, 0, n, sc)
+		b.ReleaseScratch(sc)
+	} else {
+		par.ForChunksMin(workers, n, pairwiseMinRows, func(lo, hi int) {
+			sc := b.AcquireScratch()
+			b.pairwiseRows(out, lo, hi, sc)
+			b.ReleaseScratch(sc)
+		})
+	}
+	// Mirror the upper triangle (the diagonal stays zero).
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			out[i][j] = out[j][i]
+		}
+	}
+}
+
+// pairwiseRows fills the upper-triangle entries of rows [lo, hi).
+func (b *SBDBatch) pairwiseRows(out [][]float64, lo, hi int, sc *SBDScratch) {
+	n := len(b.spec)
+	for i := lo; i < hi; i++ {
+		row := out[i]
+		for j := i + 1; j < n; j++ {
+			row[j], _ = b.PairDistance(i, j, sc)
+		}
+	}
+}
+
+// SBDNearest returns, for every query, the index of its nearest series in
+// refs under SBD (ties toward the smaller index, matching NNIndex), using
+// one spectrum cache over refs and per-chunk reused query buffers. With
+// empty refs every result is -1. The result is identical for every worker
+// count.
+func SBDNearest(refs, queries [][]float64, workers int) []int {
+	out := make([]int, len(queries))
+	if len(refs) == 0 {
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+	b := NewSBDBatch(refs)
+	par.ForChunksMin(workers, len(queries), nearestMinPerJob, func(lo, hi int) {
+		var q *SBDQuery
+		for i := lo; i < hi; i++ {
+			q = b.QueryInto(q, queries[i])
+			out[i], _ = q.Nearest()
+		}
+	})
+	return out
 }

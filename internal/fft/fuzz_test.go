@@ -67,6 +67,61 @@ func FuzzFFTRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzRFFT drives the real-input plan across arbitrary inputs and both
+// padding regimes (tight and doubled), checking parity with the complex
+// reference transform bin by bin and the Forward→Inverse round trip. The
+// input length itself is unrestricted — odd, prime, and power-of-two
+// lengths all land here via zero-padding, exactly as the SBD hot path
+// pads 2m-1 up to a power of two.
+func FuzzRFFT(f *testing.F) {
+	f.Add(testkit.EncodeFloats([]float64{1, 0, -1, 0, 1, 0, -1, 0}))
+	f.Add(testkit.EncodeFloats([]float64{5}))
+	f.Add(testkit.EncodeFloats(make([]float64, 13)))
+	f.Add([]byte{7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := testkit.DecodeFloats(data, 512)
+		if len(vals) == 0 {
+			return
+		}
+		maxAbs := 0.0
+		for _, v := range vals {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		tight := fft.NextPow2(len(vals))
+		for _, n := range []int{tight, 2 * tight} {
+			p := fft.NewRFFT(n)
+			spec := make([]complex128, p.SpectrumLen())
+			work := make([]complex128, p.WorkLen())
+			p.Forward(vals, spec, work)
+			// Parity with the complex transform on the shared bins. Both
+			// paths accumulate O(log n · eps) rounding relative to the input
+			// energy, so the slack scales with the l2 norm.
+			ref := fft.ForwardReal(vals, n)
+			slack := 1e-9 * (1 + norm(vals)*math.Sqrt(float64(n)))
+			for k := range spec {
+				if math.Abs(real(spec[k])-real(ref[k])) > slack || math.Abs(imag(spec[k])-imag(ref[k])) > slack {
+					t.Fatalf("n=%d bin %d: rfft %v vs complex %v (slack %v)", n, k, spec[k], ref[k], slack)
+				}
+			}
+			// Round trip reproduces the zero-padded input.
+			out := make([]float64, n)
+			p.Inverse(spec, out, work)
+			rtSlack := 1e-9 * (1 + maxAbs)
+			for i := 0; i < n; i++ {
+				want := 0.0
+				if i < len(vals) {
+					want = vals[i]
+				}
+				if math.Abs(out[i]-want) > rtSlack {
+					t.Fatalf("rfft roundtrip n=%d index %d: got %v, want %v (slack %v)", n, i, out[i], want, rtSlack)
+				}
+			}
+		}
+	})
+}
+
 func norm(x []float64) float64 {
 	s := 0.0
 	for _, v := range x {

@@ -79,8 +79,21 @@ func For(workers, n int, fn func(i int)) {
 // attributed to worker 0 so pool-efficiency numbers stay comparable
 // across worker counts.
 func ForChunks(workers, n int, fn func(lo, hi int)) {
+	ForChunksMin(workers, n, 1, fn)
+}
+
+// ForChunksMin is ForChunks with a floor on the chunk size: the range is
+// never split into chunks of fewer than min indices (except the final
+// remainder), capping worker-handoff overhead when the per-index work is
+// small. The partition depends only on (workers, n, min) — never on
+// scheduling — so the determinism contract of ForChunks is unchanged. A
+// min below 1 is treated as 1.
+func ForChunksMin(workers, n, min int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
+	}
+	if min < 1 {
+		min = 1
 	}
 	w := Resolve(workers)
 	if w > n {
@@ -88,45 +101,110 @@ func ForChunks(workers, n int, fn func(lo, hi int)) {
 	}
 	rec := obs.ActiveRecorder()
 	if w == 1 {
-		if rec == nil {
-			fn(0, n)
-			return
-		}
-		sw := obs.NewStopwatch()
-		fn(0, n)
-		busy := sw.ElapsedNS()
-		rec.RecordChunk(0, 0, n, rec.NowNS()-busy, busy)
-		rec.AddWorkerSpan(0, 1, int64(n), busy, 0, busy)
+		runSerial(rec, n, fn)
 		return
 	}
 	chunks := w * chunksPerWorker
 	if chunks > n {
 		chunks = n
 	}
+	if maxChunks := n / min; maxChunks > 0 && chunks > maxChunks {
+		chunks = maxChunks
+	}
+	if w > chunks {
+		w = chunks
+	}
+	if w == 1 {
+		// The chunk-size floor collapsed the range to one chunk; run it
+		// serially instead of spawning a single-goroutine pool.
+		runSerial(rec, n, fn)
+		return
+	}
+	if rec == nil && poolSize(w) == 1 {
+		// The scheduler has a single P, so the pool could never run two
+		// chunks concurrently, and with no flight recorder installed the
+		// chunk layout is unobservable. Every body contract in this package
+		// is partition-independent (disjoint writes, serial-order merges),
+		// so one big chunk produces identical results with zero pool
+		// overhead — this is what makes workers=N on a single-core machine
+		// cost the same as workers=1 instead of strictly more.
+		runSerial(nil, n, fn)
+		return
+	}
 	// Publish the pool size on the active-workers gauge while the pool
-	// runs. Capture Enabled once so the add/subtract pair stays balanced
-	// even if collection is toggled mid-loop.
+	// runs, mirroring runPool's spawn rule (the full logical pool under a
+	// flight recorder, capped at the scheduler's parallelism otherwise).
+	// Capture Enabled once so the add/subtract pair stays balanced even if
+	// collection is toggled mid-loop.
 	if obs.Enabled() {
-		obs.AddGauge(obs.GaugeActiveWorkers, int64(w))
-		defer obs.AddGauge(obs.GaugeActiveWorkers, int64(-w))
+		spawn := int64(w)
+		if rec == nil {
+			spawn = int64(poolSize(w))
+		}
+		obs.AddGauge(obs.GaugeActiveWorkers, spawn)
+		defer obs.AddGauge(obs.GaugeActiveWorkers, -spawn)
 	}
 	runPool(w, chunks, n, func(_, lo, hi int) { fn(lo, hi) })
 }
 
-// runPool is the one place pool goroutines are spawned: w workers claim
-// the chunks of [0, n) through an atomic cursor and run body(c, lo, hi)
-// for each claimed chunk c. When a flight recorder is installed, each
-// worker additionally records its chunk spans and publishes busy/wait
-// attribution — wait being everything in the worker's wall time outside
-// chunk bodies (cursor claims, goroutine startup, the final drain), so
-// busy + wait equals wall exactly. The recorded variant claims chunks
+// runSerial executes the whole range as one chunk on the calling goroutine,
+// attributing it to worker 0 when a flight recorder is installed so
+// pool-efficiency numbers stay comparable across worker counts.
+func runSerial(rec *obs.Recorder, n int, fn func(lo, hi int)) {
+	if rec == nil {
+		fn(0, n)
+		return
+	}
+	sw := obs.NewStopwatch()
+	fn(0, n)
+	busy := sw.ElapsedNS()
+	rec.RecordChunk(0, 0, n, rec.NowNS()-busy, busy)
+	rec.AddWorkerSpan(0, 1, int64(n), busy, 0, busy)
+}
+
+// poolSize caps the number of goroutines a pool actually spawns at
+// GOMAXPROCS. The chunk partition is always computed from the logical
+// worker count — so results, chunk layouts, and recorder events are
+// identical whatever the machine — but goroutines beyond the scheduler's
+// available parallelism can never run concurrently and only add spawn and
+// handoff overhead.
+func poolSize(w int) int {
+	if p := runtime.GOMAXPROCS(0); w > p {
+		return p
+	}
+	return w
+}
+
+// runPool is the one place pool goroutines are spawned: up to poolSize(w)
+// workers claim the chunks of [0, n) through an atomic cursor and run
+// body(c, lo, hi) for each claimed chunk c. When a flight recorder is
+// installed, each worker additionally records its chunk spans and publishes
+// busy/wait attribution — wait being everything in the worker's wall time
+// outside chunk bodies (cursor claims, goroutine startup, the final drain),
+// so busy + wait equals wall exactly. The recorded variant claims chunks
 // through the same cursor in the same order; only clock reads are added.
 func runPool(w, chunks, n int, body func(c, lo, hi int)) {
 	rec := obs.ActiveRecorder()
+	spawn := w
+	if rec == nil {
+		// With no flight recorder the per-worker attribution is
+		// unobservable, so goroutines beyond the scheduler's parallelism
+		// are pure overhead; recorded runs keep the full logical pool so
+		// reports faithfully show the requested concurrency.
+		spawn = poolSize(w)
+		if spawn == 1 {
+			// Drain the identical chunk partition on the calling
+			// goroutine: same chunks, same outputs, no spawn cost.
+			for c := 0; c < chunks; c++ {
+				body(c, c*n/chunks, (c+1)*n/chunks)
+			}
+			return
+		}
+	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
+	wg.Add(spawn)
+	for g := 0; g < spawn; g++ {
 		go func(worker int) {
 			defer wg.Done()
 			if rec == nil {

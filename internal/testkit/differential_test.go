@@ -54,10 +54,14 @@ func TestOracleRegistry(t *testing.T) {
 	for _, required := range []string{
 		"fft/roundtrip",
 		"fft/crosscorrelate-vs-direct",
+		"fft/rfft-roundtrip",
+		"fft/rfft-vs-complex",
+		"fft/rfft-ncc-vs-direct",
 		"sbd/fft-vs-reference",
 		"sbd/nopow2-vs-reference",
 		"sbd/nofft-vs-reference",
 		"sbdbatch/batch-vs-pairwise",
+		"sbdbatch/pairwise-and-nn",
 		"dtw/rolling-vs-fullmatrix",
 		"lbkeogh/bound-chain",
 		"eigen/power-vs-ql",

@@ -50,6 +50,7 @@ func run() error {
 		{"internal/dist/testdata/fuzz/FuzzSBD", sbdEntries()},
 		{"internal/dist/testdata/fuzz/FuzzDTWBand", dtwEntries()},
 		{"internal/fft/testdata/fuzz/FuzzFFTRoundTrip", fftEntries()},
+		{"internal/fft/testdata/fuzz/FuzzRFFT", rfftEntries()},
 		{"internal/ts/testdata/fuzz/FuzzZNormalize", znormEntries()},
 		{"internal/dataset/testdata/fuzz/FuzzUCRLoader", ucrEntries()},
 	}
@@ -146,6 +147,29 @@ func fftEntries() []entry {
 		{"cancellation-large", []string{bytesLine(testkit.EncodeFloats(cancel))}},
 		{"single-value", []string{bytesLine(testkit.EncodeFloats([]float64{5}))}},
 		{"non-pow2-length", []string{bytesLine(testkit.EncodeFloats(sine(27, 2, 0.3)))}},
+	}
+}
+
+func rfftEntries() []entry {
+	cancel := make([]float64, 32)
+	for i := range cancel {
+		cancel[i] = 1e8
+		if i%2 == 1 {
+			cancel[i] = -1e8
+		}
+	}
+	return []entry{
+		// Length regimes: power-of-two (transforms with zero padding only
+		// from the doubled plan), odd, prime, and the single-point
+		// degenerate plan, plus a cancellation-heavy input whose spectrum
+		// concentrates in the top bin — the untangling's k=half edge.
+		{"impulse-pow2", []string{bytesLine(testkit.EncodeFloats(spike(16, 0, 1)))}},
+		{"sine-pow2", []string{bytesLine(testkit.EncodeFloats(sine(64, 3, 0.4)))}},
+		{"odd-length", []string{bytesLine(testkit.EncodeFloats(sine(27, 2, 0.3)))}},
+		{"prime-length", []string{bytesLine(testkit.EncodeFloats(ramp(13, 0.75)))}},
+		{"single-value", []string{bytesLine(testkit.EncodeFloats([]float64{5}))}},
+		{"alternating-large", []string{bytesLine(testkit.EncodeFloats(cancel))}},
+		{"constant", []string{bytesLine(testkit.EncodeFloats(constant(24, -3.5)))}},
 	}
 }
 

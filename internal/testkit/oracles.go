@@ -50,6 +50,24 @@ func Pairs() []OraclePair {
 			Run:  runConvolve,
 		},
 		{
+			Name: "fft/rfft-roundtrip",
+			Doc:  "RFFT Inverse(Forward(x)) reproduces the zero-padded real input",
+			Tol:  DefaultTol,
+			Run:  runRFFTRoundTrip,
+		},
+		{
+			Name: "fft/rfft-vs-complex",
+			Doc:  "RFFT half-spectrum matches the complex reference transform bin by bin",
+			Tol:  DefaultTol,
+			Run:  runRFFTVsComplex,
+		},
+		{
+			Name: "fft/rfft-ncc-vs-direct",
+			Doc:  "cross-correlation assembled from RFFT spectra matches the direct O(m²) definition",
+			Tol:  DefaultTol,
+			Run:  runRFFTCrossCorrelate,
+		},
+		{
 			Name: "sbd/fft-vs-reference",
 			Doc:  "optimized SBD (pow2-padded FFT) matches the direct NCCc maximum (Eq. 9)",
 			Tol:  DefaultTol,
@@ -72,6 +90,12 @@ func Pairs() []OraclePair {
 			Doc:  "shared-spectra SBDBatch distances and shifts match per-pair SBD",
 			Tol:  DefaultTol,
 			Run:  runSBDBatch,
+		},
+		{
+			Name: "sbdbatch/pairwise-and-nn",
+			Doc:  "batch PairwiseInto and SBDNearest match per-pair SBD/NNIndex, worker-count independent",
+			Tol:  DefaultTol,
+			Run:  runSBDBatchPairwiseNN,
 		},
 		{
 			Name: "dtw/rolling-vs-fullmatrix",
@@ -278,6 +302,78 @@ func runConvolve(g *Gen) error {
 	return CheckSlice(fmt.Sprintf("Convolve(len %d, %d)", len(x), len(y)), got, want, DefaultTol)
 }
 
+// rfftSizes spans degenerate plans through several butterfly stages.
+var rfftSizes = []int{1, 2, 4, 16, 64, 256}
+
+func runRFFTRoundTrip(g *Gen) error {
+	n := rfftSizes[g.Intn(len(rfftSizes))]
+	// Input lengths below the transform length exercise the zero-padding.
+	x := g.Series(1 + g.Intn(n))
+	p := fft.NewRFFT(n)
+	spec := make([]complex128, p.SpectrumLen())
+	work := make([]complex128, p.WorkLen())
+	out := make([]float64, n)
+	p.Forward(x, spec, work)
+	p.Inverse(spec, out, work)
+	for i := range out {
+		want := 0.0
+		if i < len(x) {
+			want = x[i]
+		}
+		if !Close(out[i], want, DefaultTol) {
+			return fmt.Errorf("rfft roundtrip n=%d inLen=%d: index %d got %v, want %v", n, len(x), i, out[i], want)
+		}
+	}
+	return nil
+}
+
+func runRFFTVsComplex(g *Gen) error {
+	n := rfftSizes[g.Intn(len(rfftSizes))]
+	x := g.Series(1 + g.Intn(n))
+	p := fft.NewRFFT(n)
+	spec := make([]complex128, p.SpectrumLen())
+	work := make([]complex128, p.WorkLen())
+	p.Forward(x, spec, work)
+	ref := fft.ForwardReal(x, n)
+	for k := range spec {
+		if !Close(real(spec[k]), real(ref[k]), DefaultTol) || !Close(imag(spec[k]), imag(ref[k]), DefaultTol) {
+			return fmt.Errorf("rfft n=%d inLen=%d bin %d: %v vs complex %v", n, len(x), k, spec[k], ref[k])
+		}
+	}
+	return nil
+}
+
+// runRFFTCrossCorrelate rebuilds the SBD correlation pipeline on RFFT
+// spectra — forward both series, multiply by the conjugate, invert, unwrap
+// the circular lags — and checks it against the direct O(m²) definition.
+// This is the NCC arithmetic the batch SBD paths run per pair.
+func runRFFTCrossCorrelate(g *Gen) error {
+	x, y := g.PairAtMost(100)
+	m := len(x)
+	n := fft.NextPow2(2*m - 1)
+	p := fft.NewRFFT(n)
+	sx := make([]complex128, p.SpectrumLen())
+	sy := make([]complex128, p.SpectrumLen())
+	work := make([]complex128, p.WorkLen())
+	cc := make([]float64, n)
+	p.Forward(x, sx, work)
+	p.Forward(y, sy, work)
+	for k := range sx {
+		sx[k] *= complex(real(sy[k]), -imag(sy[k]))
+	}
+	p.Inverse(sx, cc, work)
+	want := refCrossCorrelate(x, y)
+	got := make([]float64, 2*m-1)
+	for lag := -(m - 1); lag <= m-1; lag++ {
+		idx := lag
+		if idx < 0 {
+			idx += n
+		}
+		got[lag+m-1] = cc[idx]
+	}
+	return CheckSlice(fmt.Sprintf("RFFT cross-correlation (m=%d)", m), got, want, DefaultTol)
+}
+
 func runSBDVariant(g *Gen, name string, f func(x, y []float64) (float64, []float64)) error {
 	x, y := g.PairAtMost(100)
 	got, aligned := f(x, y)
@@ -310,16 +406,25 @@ func runSBDBatch(g *Gen) error {
 	query := b.Query(q)
 	scratch := b.Scratch()
 	for i := range data {
-		wantDist, wantAligned := dist.SBD(q, data[i])
+		wantDist, _ := dist.SBD(q, data[i])
 		gotDist, gotShift := query.Distance(i)
 		if err := CheckScalar(fmt.Sprintf("batch dist[%d]", i), gotDist, wantDist, DefaultTol); err != nil {
 			return err
 		}
-		// The batch and per-pair paths run the same FFT arithmetic in the
-		// same scan order, so the argmax shift must agree exactly; verify by
-		// reconstructing the aligned series.
-		if err := CheckSlice(fmt.Sprintf("batch aligned[%d]", i), ts.Shift(data[i], gotShift), wantAligned, 0); err != nil {
-			return err
+		// The batch path runs the real-input transform while the per-pair
+		// reference runs the complex one, so on a tied correlation plateau
+		// (constant×spike inputs) their argmax can legitimately differ by
+		// rounding. The contract is therefore ε-equivalent maximization:
+		// the batch shift must itself attain the reference optimum, checked
+		// by recomputing its correlation value from the definition.
+		if gotShift <= -m || gotShift >= m {
+			return fmt.Errorf("batch shift[%d] = %d outside (-%d, %d)", i, gotShift, m, m)
+		}
+		if den := ts.Norm(q) * ts.Norm(data[i]); den > 0 {
+			v := ts.Dot(q, ts.Shift(data[i], gotShift))
+			if err := CheckScalar(fmt.Sprintf("batch shift[%d] optimality", i), 1-v/den, wantDist, DefaultTol); err != nil {
+				return err
+			}
 		}
 		// The caller-provided-scratch path must agree with the internal one.
 		sDist, sShift := query.DistanceScratch(i, scratch)
@@ -328,6 +433,74 @@ func runSBDBatch(g *Gen) error {
 		}
 		if err := CheckInt(fmt.Sprintf("scratch shift[%d]", i), sShift, gotShift); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// runSBDBatchPairwiseNN checks the cached-spectra batch endpoints against
+// their per-pair references: PairwiseInto against an SBDDist matrix
+// (within tolerance), bit-identical across worker counts, and SBDNearest
+// against a serial NNIndex scan (indices equal whenever the per-pair
+// winner is ε-separated; on near-ties both candidates must be optimal).
+func runSBDBatchPairwiseNN(g *Gen) error {
+	m := g.LenAtMost(64)
+	data := g.Matrix(4+g.Intn(6), m)
+	b := dist.NewSBDBatch(data)
+	n := len(data)
+	matrix := func(workers int) [][]float64 {
+		out := make([][]float64, n)
+		for i := range out {
+			out[i] = make([]float64, n)
+		}
+		b.PairwiseInto(out, workers)
+		return out
+	}
+	got := matrix(1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i != j {
+				want = dist.SBDDist(data[i], data[j])
+			}
+			if err := CheckScalar(fmt.Sprintf("PairwiseInto[%d][%d]", i, j), got[i][j], want, DefaultTol); err != nil {
+				return err
+			}
+			if !SameBits(got[i][j], got[j][i]) {
+				return fmt.Errorf("PairwiseInto asymmetric at (%d,%d): %v vs %v", i, j, got[i][j], got[j][i])
+			}
+		}
+	}
+	for _, w := range workerCounts {
+		gw := matrix(w)
+		for i := range gw {
+			if err := CheckSlice(fmt.Sprintf("PairwiseInto row %d (workers=%d)", i, w), gw[i], got[i], 0); err != nil {
+				return err
+			}
+		}
+	}
+	queries := g.Matrix(3+g.Intn(4), m)
+	nearest := dist.SBDNearest(data, queries, 1)
+	for qi, q := range queries {
+		wantIdx, wantDist := dist.NNIndex(dist.SBDMeasure{}, q, data)
+		gotIdx := nearest[qi]
+		if gotIdx < 0 || gotIdx >= n {
+			return fmt.Errorf("SBDNearest[%d] = %d out of range", qi, gotIdx)
+		}
+		if gotIdx != wantIdx {
+			// Allowed only when the two candidates tie within tolerance.
+			gotDist := dist.SBDDist(q, data[gotIdx])
+			if err := CheckScalar(fmt.Sprintf("SBDNearest[%d] tie (%d vs %d)", qi, gotIdx, wantIdx), gotDist, wantDist, DefaultTol); err != nil {
+				return err
+			}
+		}
+	}
+	for _, w := range workerCounts {
+		nw := dist.SBDNearest(data, queries, w)
+		for qi := range nw {
+			if err := CheckInt(fmt.Sprintf("SBDNearest[%d] (workers=%d)", qi, w), nw[qi], nearest[qi]); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -232,6 +232,34 @@ func Shift(y []float64, s int) []float64 {
 	return out
 }
 
+// ShiftInto is Shift writing into dst (length m), allocating nothing. dst
+// may alias y: for s >= 0 the copy moves data right and the zero-fill
+// follows it, for s < 0 the copy moves data left, so in both directions
+// every source element is read before it is overwritten.
+func ShiftInto(dst, y []float64, s int) {
+	m := len(y)
+	if len(dst) != m {
+		panic("ts: ShiftInto length mismatch")
+	}
+	if s >= m || -s >= m {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if s >= 0 {
+		copy(dst[s:], y[:m-s])
+		for i := 0; i < s; i++ {
+			dst[i] = 0
+		}
+	} else {
+		copy(dst, y[-s:])
+		for i := m + s; i < m; i++ {
+			dst[i] = 0
+		}
+	}
+}
+
 // Reverse returns a new slice with the elements of x in reverse order.
 func Reverse(x []float64) []float64 {
 	out := make([]float64, len(x))
