@@ -68,7 +68,7 @@ fuzz:
 # Regenerates the golden snapshots (testdata/golden/) after a deliberate,
 # reviewed renderer change. `make test` fails on any byte of drift.
 golden:
-	$(GO) test ./internal/experiments/ ./internal/obs/ ./cmd/kshape/ ./cmd/benchjson/ -run Golden -update
+	$(GO) test ./internal/experiments/ ./internal/obs/ ./internal/plot/ ./cmd/kshape/ ./cmd/benchjson/ -run Golden -update
 
 # Pre-commit gate, cheapest first so failures surface early: formatting,
 # go vet, the repo's own analyzers (kshapelint), the full test suite
@@ -110,11 +110,11 @@ bench-diff:
 # iterations each, compared against the committed baseline with a loose
 # threshold — this catches egregious regressions on noisy CI machines;
 # `make bench-diff` is the strict local gate. Also runs one instrumented
-# kbench whose flight report (bench-smoke-report.json) is uploaded as a
-# build artifact.
+# kbench whose flight report (bench-smoke-report.json) and HTML run
+# dashboard (bench-smoke-dashboard.html) are uploaded as build artifacts.
 BENCH_SMOKE_THRESHOLD ?= 50%
 bench-smoke:
 	$(GO) test $(VCS_LDFLAGS) -bench='DistanceMatrixSBD|KShapeRefinement|OneNN' -benchtime=3x -run=^$$ . > bench-smoke.out
 	$(GO) run $(VCS_LDFLAGS) ./cmd/benchjson -o bench-smoke.json bench-smoke.out
 	$(GO) run ./cmd/benchdiff -threshold $(BENCH_SMOKE_THRESHOLD) BENCH_kshape.json bench-smoke.json
-	$(GO) run $(VCS_LDFLAGS) ./cmd/kbench -datasets 2 -runs 1 -workers 4 -report bench-smoke-report.json table3 > /dev/null
+	$(GO) run $(VCS_LDFLAGS) ./cmd/kbench -datasets 2 -runs 1 -workers 4 -report bench-smoke-report.json -dashboard bench-smoke-dashboard.html table3 > /dev/null

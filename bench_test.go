@@ -527,6 +527,57 @@ func BenchmarkDistanceMatrixSBDRecorder(b *testing.B) {
 	b.ReportMetric(overheadPct, "recorder_overhead_pct")
 }
 
+// BenchmarkKShapeProgressPublisher measures the live-progress layer's
+// cost on a full k-Shape run: with a publisher installed, the engine's
+// run observer computes per-cluster centroid drift and the sampled
+// silhouette each iteration and publishes an atomic snapshot. The
+// "progress_overhead_pct" metric uses the same paired-minimum protocol as
+// recorder_overhead_pct (alternating off/on runs, a forced collection
+// before each, fastest run per side) and lands in BENCH_kshape.json as
+// the tracked overhead number; the budget is <= 2%.
+func BenchmarkKShapeProgressPublisher(b *testing.B) {
+	data := ts.Rows(dataset.CBF(240, 128, 1))
+	work := func() {
+		if _, err := core.KShapeRun(data, 3, rand.New(rand.NewSource(1)), core.KShapeOpts{Workers: benchParallelWorkers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	work() // warm caches before any timing
+
+	const rounds = 18
+	timeIt := func() time.Duration {
+		runtime.GC()
+		start := time.Now()
+		work()
+		return time.Since(start)
+	}
+	minOff, minOn := time.Duration(-1), time.Duration(-1)
+	for p := 0; p < rounds; p++ {
+		if d := timeIt(); minOff < 0 || d < minOff {
+			minOff = d
+		}
+		prev := obs.SetProgressPublisher(obs.NewProgressPublisher())
+		d := timeIt()
+		obs.SetProgressPublisher(prev)
+		if minOn < 0 || d < minOn {
+			minOn = d
+		}
+	}
+	overheadPct := (float64(minOn)/float64(minOff) - 1) * 100
+
+	// The timed loop runs the published path, so ns/op is directly
+	// comparable with BenchmarkKShapeRefinementParallel's.
+	prev := obs.SetProgressPublisher(obs.NewProgressPublisher())
+	defer obs.SetProgressPublisher(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work()
+	}
+	b.StopTimer()
+	b.ReportMetric(overheadPct, "progress_overhead_pct")
+}
+
 func BenchmarkKShapeRefinementSerial(b *testing.B) {
 	data := ts.Rows(dataset.CBF(240, 128, 1))
 	stop := benchCounters(b)

@@ -24,10 +24,13 @@
 // profiles of the same run.
 //
 // -listen ADDR serves live telemetry while the experiments execute:
-// /metrics (Prometheus text format), /healthz, /debug/vars, and
-// /debug/pprof — useful for watching kernel-counter rates and phase
-// latency histograms during a long sweep. Progress output is structured
-// (-v enables it; -log-json switches to JSON lines).
+// /metrics (Prometheus text format, including live-progress gauges),
+// /progress (Server-Sent-Events per-iteration snapshots), /healthz,
+// /debug/vars, and /debug/pprof — useful for watching kernel-counter
+// rates and phase latency histograms during a long sweep. -progress
+// renders a live convergence line on stderr; -dashboard FILE writes a
+// self-contained HTML run dashboard after the sweep. Progress output is
+// structured (-v enables it; -log-json switches to JSON lines).
 package main
 
 import (
@@ -87,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	common.Register(fs)
 	common.RegisterListen(fs)
 	common.RegisterReport(fs)
+	common.RegisterProgress(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,6 +132,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	defer stopTelemetry()
 	finishReport := common.StartReport("kbench", args, logger)
+	stopProgress := common.StartProgress(stderr, logger)
+	defer stopProgress()
 
 	valid := map[string]bool{}
 	for _, e := range experimentNames {
@@ -475,6 +481,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("memprofile: %w", err)
 		}
 	}
+	stopProgress()
 	if err := finishReport(); err != nil {
 		return err
 	}

@@ -10,6 +10,11 @@
 // (comma, tab, or space separated). The tool prints per-query predictions
 // as CSV and the overall accuracy (when the test file carries labels) to
 // stderr.
+//
+// With -listen ADDR, the process serves live telemetry while the
+// classification runs: /metrics (Prometheus text format: kernel
+// counters, phase latency histograms), /healthz, /debug/vars, and
+// /debug/pprof — the same scrape surface as kshape and kbench.
 package main
 
 import (
@@ -41,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "max concurrent workers (1 = serial; results are identical for any value)")
 	var common cli.Common
 	common.Register(fs)
+	common.RegisterListen(fs)
 	common.RegisterReport(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +61,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if fs.NArg() != 2 {
 		return fmt.Errorf("expected train and test files, got %d arguments", fs.NArg())
 	}
+	_, stopTelemetry, err := common.StartTelemetry(logger)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
 	finishReport := common.StartReport("knn", args, logger)
 	train, err := dataset.LoadUCRFile(fs.Arg(0))
 	if err != nil {

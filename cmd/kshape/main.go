@@ -17,9 +17,14 @@
 //
 // With -listen ADDR, the process serves live telemetry while the run
 // executes: /metrics (Prometheus text format: kernel counters, phase
-// latency histograms, gauges), /healthz, /debug/vars, and /debug/pprof.
-// Progress and summaries are structured log records (-log-level,
-// -log-json); -version prints build information.
+// latency histograms, gauges, live progress), /progress (Server-Sent-
+// Events stream of per-iteration snapshots), /healthz, /debug/vars, and
+// /debug/pprof. With -progress, a live one-line convergence display
+// (iteration, inertia, churn, drift, ETA) refreshes on stderr; with
+// -dashboard FILE, a self-contained HTML run dashboard (convergence
+// curves, phase latencies, execution timeline, counters, build identity)
+// is written after the run. Progress and summaries are structured log
+// records (-log-level, -log-json); -version prints build information.
 package main
 
 import (
@@ -65,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	common.Register(fs)
 	common.RegisterListen(fs)
 	common.RegisterReport(fs)
+	common.RegisterProgress(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,14 +93,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	defer stopTelemetry()
 	finishReport := common.StartReport("kshape", args, logger)
+	stopProgress := common.StartProgress(stderr, logger)
 	series, err := dataset.LoadUCRFile(fs.Arg(0))
 	if err != nil {
+		stopProgress()
 		return err
 	}
 	data := ts.Rows(series)
 	res, err := kshape.Cluster(data, *k, kshape.Options{
 		Seed: *seed, Method: *method, CollectTrace: *traceRun, Workers: *workers, Logger: logger,
 	})
+	stopProgress()
 	if err != nil {
 		return err
 	}

@@ -34,10 +34,20 @@ type Common struct {
 	// TimelinePath is the -timeline value: render the run's execution
 	// timeline (workers × time SVG) there after the run.
 	TimelinePath string
+	// DashboardPath is the -dashboard value: write a self-contained HTML
+	// run dashboard there after the run. Only present on tools that call
+	// RegisterProgress.
+	DashboardPath string
+	// ShowProgress is set by -progress: render a live TTY progress line
+	// while the run executes.
+	ShowProgress bool
 
 	// runID correlates this invocation's log records and run report; it is
 	// generated on first use (Logger or StartReport).
 	runID string
+	// progress is the publisher StartProgress installed; it outlives the
+	// run so the dashboard writer can read the iteration history.
+	progress *obs.ProgressPublisher
 }
 
 // RunID returns the invocation's correlation ID, generating it on first

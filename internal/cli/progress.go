@@ -1,0 +1,159 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+
+	"kshape/internal/obs"
+	"kshape/internal/plot"
+)
+
+// RegisterProgress installs the live-progress flags, -progress and
+// -dashboard, on tools whose runs iterate long enough to watch (kshape,
+// kbench).
+func (c *Common) RegisterProgress(fs *flag.FlagSet) {
+	fs.BoolVar(&c.ShowProgress, "progress", false,
+		"render a live one-line progress display (iteration, inertia, churn, drift, ETA) on stderr while the run executes")
+	fs.StringVar(&c.DashboardPath, "dashboard", "",
+		"write a self-contained HTML run dashboard (convergence curves, phase latencies, execution timeline, counters, build identity) to this file; implies flight recording")
+}
+
+// progressLineInterval is the TTY progress line's refresh period.
+const progressLineInterval = 200 * time.Millisecond
+
+// StartProgress installs a progress publisher when -progress or
+// -dashboard asked for one, making the engines publish per-iteration
+// snapshots (served on /progress and /metrics when -listen is also
+// given), and starts the TTY progress line when -progress was given. The
+// returned stop function (always non-nil, idempotent; call after the
+// run) restores the previous publisher and finishes the progress line;
+// the collected history stays available for the dashboard writer.
+func (c *Common) StartProgress(w io.Writer, logger *slog.Logger) (stop func()) {
+	if !c.ShowProgress && c.DashboardPath == "" {
+		return func() {}
+	}
+	pub := obs.NewProgressPublisher()
+	c.progress = pub
+	prev := obs.SetProgressPublisher(pub)
+	if logger != nil {
+		logger.Debug("progress publisher installed", "tty_line", c.ShowProgress, "dashboard", c.DashboardPath)
+	}
+	var stopLine func()
+	if c.ShowProgress && w != nil {
+		stopLine = startProgressLine(w, pub)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			obs.SetProgressPublisher(prev)
+			if stopLine != nil {
+				stopLine()
+			}
+		})
+	}
+}
+
+// startProgressLine launches the refresher that redraws one carriage-
+// returned status line from the publisher's latest snapshot. The
+// goroutine only reads published snapshots — never clustering state — so
+// determinism is unaffected.
+func startProgressLine(w io.Writer, pub *obs.ProgressPublisher) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	//lint:ignore goroutine TTY progress-line refresher lifetime, not data-path fan-out
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(progressLineInterval)
+		defer t.Stop()
+		wrote := false
+		render := func() {
+			if p, ok := pub.Snapshot(); ok {
+				Emit(w, "\r%-78s", progressLine(p))
+				wrote = true
+			}
+		}
+		for {
+			select {
+			case <-t.C:
+				render()
+			case <-done:
+				render()
+				if wrote {
+					Emit(w, "\n")
+				}
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// progressLine formats one snapshot as a single status line.
+func progressLine(p obs.Progress) string {
+	switch p.Phase {
+	case obs.ProgressPhaseInit:
+		return fmt.Sprintf("%s starting: %d series, k=%d", p.Method, p.Series, p.K)
+	case obs.ProgressPhaseDone:
+		outcome := "stopped at iteration cap"
+		if p.Converged {
+			outcome = "converged"
+		}
+		return fmt.Sprintf("%s %s: %d iterations, inertia %.6g", p.Method, outcome, p.Iteration, p.Inertia)
+	}
+	line := fmt.Sprintf("%s iter %d/%d  inertia %.6g (%+.3g)  churn %d  drift %.3f  sil %.3f",
+		p.Method, p.Iteration, p.MaxIterations, p.Inertia, p.InertiaDelta,
+		p.LabelChurn, p.DriftMax, p.SilhouetteSample)
+	switch {
+	case p.Stalled:
+		line += "  [stalled]"
+	case p.Oscillating:
+		line += "  [oscillating]"
+	case p.ETAIterations > 0:
+		line += fmt.Sprintf("  eta %d", p.ETAIterations)
+	}
+	return line
+}
+
+// writeDashboard renders the single-file HTML dashboard from the flight
+// report (phases, timeline, counters, build identity) and the progress
+// publisher's iteration history (convergence curves), with checked
+// writes.
+func (c *Common) writeDashboard(tool string, rep obs.RunReport) error {
+	workers, spans := TimelineSpans(rep)
+	d := plot.DashboardData{
+		Title:    fmt.Sprintf("%s run %s", tool, rep.RunID),
+		Tool:     tool,
+		RunID:    rep.RunID,
+		WallNS:   rep.WallNS,
+		Workers:  workers,
+		Phases:   rep.Phases,
+		Counters: rep.Counters,
+		Timeline: spans, TimelineWorkers: workers,
+		Build: rep.Build,
+	}
+	if c.progress != nil {
+		if snap, ok := c.progress.Snapshot(); ok {
+			d.Method = snap.Method
+			d.Converged = snap.Converged
+		}
+		d.Iterations, _ = c.progress.History()
+	}
+	page := plot.Dashboard(d)
+	f, err := os.Create(c.DashboardPath)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(page); err != nil {
+		_ = f.Close() // surface the write error, not the close error
+		return err
+	}
+	return f.Close()
+}

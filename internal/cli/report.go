@@ -20,16 +20,17 @@ func (c *Common) RegisterReport(fs *flag.FlagSet) {
 		"render the run's execution timeline (workers × time SVG) to this file; implies flight recording")
 }
 
-// StartReport arms the flight recorder when -report or -timeline was
-// given: it installs a fresh recorder, enables metric collection (so the
-// phase histograms and kernel counters populate), and starts the
-// background runtime sampler. The returned finish function stops the
-// sampler, restores the previous recorder and collection state, and
-// writes the requested artifacts; call it exactly once, after the
-// measured work completes. With neither flag set both the setup and the
-// finish are no-ops.
+// StartReport arms the flight recorder when -report, -timeline, or
+// -dashboard was given: it installs a fresh recorder, enables metric
+// collection (so the phase histograms and kernel counters populate), and
+// starts the background runtime sampler. The returned finish function
+// stops the sampler, restores the previous recorder and collection
+// state, and writes the requested artifacts; call it exactly once, after
+// the measured work completes (and after StartProgress's stop, so the
+// dashboard sees the full iteration history). With none of the flags set
+// both the setup and the finish are no-ops.
 func (c *Common) StartReport(tool string, args []string, logger *slog.Logger) (finish func() error) {
-	if c.ReportPath == "" && c.TimelinePath == "" {
+	if c.ReportPath == "" && c.TimelinePath == "" && c.DashboardPath == "" {
 		return func() error { return nil }
 	}
 	rec := obs.NewRecorder(0)
@@ -62,6 +63,14 @@ func (c *Common) StartReport(tool string, args []string, logger *slog.Logger) (f
 			}
 			if logger != nil {
 				logger.Info("timeline written", "path", c.TimelinePath)
+			}
+		}
+		if c.DashboardPath != "" {
+			if err := c.writeDashboard(tool, rep); err != nil {
+				return fmt.Errorf("dashboard: %w", err)
+			}
+			if logger != nil {
+				logger.Info("dashboard written", "path", c.DashboardPath)
 			}
 		}
 		return nil

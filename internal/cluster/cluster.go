@@ -66,10 +66,23 @@ func Run(c Clusterer, data [][]float64, k int, rng *rand.Rand, opt Opts) (*core.
 	// so a run report's chunk/phase spans can be mapped back to the
 	// algorithm that produced them (no-op without an active recorder).
 	obs.RecordMark("method:" + c.Name())
-	if it, ok := c.(Iterative); ok {
-		return it.ClusterOpts(data, k, rng, opt)
+	// Bracket the run for the live-progress publisher (no-op without one):
+	// the engines publish the per-iteration snapshots in between.
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = core.DefaultMaxIterations
 	}
-	return c.Cluster(data, k, rng)
+	obs.ProgressBeginRun(c.Name(), len(data), k, maxIter)
+	res, err := func() (*core.Result, error) {
+		if it, ok := c.(Iterative); ok {
+			return it.ClusterOpts(data, k, rng, opt)
+		}
+		return c.Cluster(data, k, rng)
+	}()
+	if err == nil {
+		obs.ProgressEndRun(res.Converged)
+	}
+	return res, err
 }
 
 // kmeansVariant is a Lloyd-style clusterer with pluggable distance and

@@ -9,7 +9,6 @@
 package core
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -152,9 +151,11 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 
 	res := &Result{Labels: labels, Centroids: centroids}
 	prev := make([]int, n)
-	observe := newIterationObserver(cfg.OnIteration, cfg.Logger)
+	ob := newRunObserver(n, k, cfg.OnIteration, cfg.Logger)
+	capture := ob.captureRows()
 	for iter := 0; iter < maxIter; iter++ {
 		copy(prev, labels)
+		ob.beforeRefine(centroids)
 
 		// Refinement step: recompute each centroid from its members, using
 		// the previous centroid as the alignment reference. Clusters are
@@ -177,9 +178,17 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 		assignSW := obs.NewStopwatch()
 		par.For(cfg.Workers, n, func(i int) {
 			x := data[i]
+			var capRow []float64
+			if capture != nil {
+				capRow = capture[i]
+			}
 			best, bestJ := math.Inf(1), labels[i]
 			for j := 0; j < k; j++ {
-				if d := cfg.Distance(centroids[j], x); d < best {
+				d := cfg.Distance(centroids[j], x)
+				if capRow != nil {
+					capRow[j] = d
+				}
+				if d < best {
 					best, bestJ = d, j
 				}
 			}
@@ -195,7 +204,7 @@ func Lloyd(data [][]float64, cfg Config) (*Result, error) {
 
 		res.Iterations = iter + 1
 		converged := equalLabels(labels, prev)
-		observe(iter, labels, prev, assignDist, k, refineNS, assignNS, reseeds)
+		ob.observe(iter, labels, prev, assignDist, centroids, refineNS, assignNS, reseeds)
 		if converged {
 			res.Converged = true
 			break
@@ -243,26 +252,6 @@ func publishClusterSizes(labels []int, k int) {
 		sizes[l]++
 	}
 	obs.SetClusterSizes(sizes)
-}
-
-// newIterationObserver fuses the OnIteration callback and debug-level
-// structured logging into one per-iteration hook. The returned function
-// computes iteration statistics only when at least one sink wants them,
-// preserving the "no bookkeeping unless observed" property of the engine.
-func newIterationObserver(onIter func(obs.IterationStats), logger *slog.Logger) func(iter int, labels, prev []int, assignDist []float64, k int, refineNS, assignNS int64, reseeds int) {
-	logDebug := logger != nil && logger.Enabled(context.Background(), slog.LevelDebug)
-	if onIter == nil && !logDebug {
-		return func(int, []int, []int, []float64, int, int64, int64, int) {}
-	}
-	return func(iter int, labels, prev []int, assignDist []float64, k int, refineNS, assignNS int64, reseeds int) {
-		st := iterationStats(iter, labels, prev, assignDist, k, refineNS, assignNS, reseeds)
-		if onIter != nil {
-			onIter(st)
-		}
-		if logDebug {
-			logger.Debug("refinement iteration", "stats", st)
-		}
-	}
 }
 
 // reseedEmptyClusters moves, for every empty cluster, the series with the
@@ -422,7 +411,8 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 	assignDist := make([]float64, n)
 	res := &Result{Labels: labels, Centroids: centroids}
 	prev := make([]int, n)
-	observe := newIterationObserver(opt.OnIteration, opt.Logger)
+	ob := newRunObserver(n, k, opt.OnIteration, opt.Logger)
+	capture := ob.captureRows()
 
 	// All per-iteration state is allocated once, outside the loop, so the
 	// steady-state iterations are allocation-free apart from the eigen
@@ -451,6 +441,7 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 
 	for iter := 0; iter < maxIter; iter++ {
 		copy(prev, labels)
+		ob.beforeRefine(centroids)
 
 		// Group member indices per cluster: counting sort into order, with
 		// cluster j occupying order[starts[j]:starts[j+1]].
@@ -529,9 +520,17 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 		par.ForChunksMin(opt.Workers, n, assignMinPerChunk, func(lo, hi int) {
 			scratch := batch.AcquireScratch()
 			for i := lo; i < hi; i++ {
+				var capRow []float64
+				if capture != nil {
+					capRow = capture[i]
+				}
 				best, bestJ := math.Inf(1), labels[i]
 				for j := 0; j < k; j++ {
-					if d, _ := queries[j].DistanceScratch(i, scratch); d < best {
+					d, _ := queries[j].DistanceScratch(i, scratch)
+					if capRow != nil {
+						capRow[j] = d
+					}
+					if d < best {
 						best, bestJ = d, j
 					}
 				}
@@ -559,7 +558,7 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 		observeIterationTelemetry(iter, refineNS, assignNS, refineSW)
 		res.Iterations = iter + 1
 		converged := equalLabels(labels, prev)
-		observe(iter, labels, prev, assignDist, k, refineNS, assignNS, reseeds)
+		ob.observe(iter, labels, prev, assignDist, centroids, refineNS, assignNS, reseeds)
 		if converged {
 			res.Converged = true
 			break

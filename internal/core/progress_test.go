@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"kshape/internal/avg"
+	"kshape/internal/dist"
+	"kshape/internal/obs"
+)
+
+// TestKShapeRunPublisherBitIdentical pins the observability contract of
+// the progress layer: installing a progress publisher must not change a
+// single bit of the clustering — labels, centroids, inertia, the
+// iteration trajectory, or kernel-counter totals — at any worker count.
+func TestKShapeRunPublisherBitIdentical(t *testing.T) {
+	data, _ := twoClassShiftedData(20, 48, rand.New(rand.NewSource(7)))
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	run := func(publish bool, workers int) *runSnapshot {
+		if publish {
+			pub := obs.NewProgressPublisher()
+			prevPub := obs.SetProgressPublisher(pub)
+			defer obs.SetProgressPublisher(prevPub)
+		}
+		snap := &runSnapshot{}
+		before := obs.ReadCounters()
+		res, err := KShapeRun(data, 3, rand.New(rand.NewSource(11)), KShapeOpts{
+			OnIteration: snap.record,
+			Workers:     workers,
+		})
+		if err != nil {
+			t.Fatalf("publish=%v workers=%d: %v", publish, workers, err)
+		}
+		snap.res = *res
+		snap.counters = obs.ReadCounters().Sub(before)
+		return snap
+	}
+
+	want := run(false, 1)
+	for _, w := range workerCounts {
+		snapshotsEqual(t, want, run(true, w), "publisher-on workers="+strconv.Itoa(w))
+		snapshotsEqual(t, want, run(false, w), "publisher-off workers="+strconv.Itoa(w))
+	}
+}
+
+// TestKShapeRunPublisherOnlyMatchesUnobserved covers the publisher-only
+// path (no OnIteration callback): the observer then exists solely to feed
+// the publisher, and the clustering output must still match a fully
+// unobserved run bit for bit. Kernel counters are exempt — the observer's
+// centroid-drift SBDs legitimately add evaluations.
+func TestKShapeRunPublisherOnlyMatchesUnobserved(t *testing.T) {
+	data, _ := twoClassShiftedData(20, 48, rand.New(rand.NewSource(7)))
+
+	run := func(publish bool, workers int) *Result {
+		if publish {
+			pub := obs.NewProgressPublisher()
+			prevPub := obs.SetProgressPublisher(pub)
+			defer obs.SetProgressPublisher(prevPub)
+		}
+		res, err := KShapeRun(data, 3, rand.New(rand.NewSource(11)), KShapeOpts{Workers: workers})
+		if err != nil {
+			t.Fatalf("publish=%v workers=%d: %v", publish, workers, err)
+		}
+		return res
+	}
+
+	want := run(false, 1)
+	for _, w := range workerCounts {
+		got := run(true, w)
+		if got.Inertia != want.Inertia || got.Iterations != want.Iterations || got.Converged != want.Converged {
+			t.Errorf("workers=%d: inertia/iterations/converged = %v/%d/%v, want %v/%d/%v",
+				w, got.Inertia, got.Iterations, got.Converged, want.Inertia, want.Iterations, want.Converged)
+		}
+		for i := range want.Labels {
+			if got.Labels[i] != want.Labels[i] {
+				t.Fatalf("workers=%d: label[%d] = %d, want %d", w, i, got.Labels[i], want.Labels[i])
+			}
+		}
+		for j := range want.Centroids {
+			for i := range want.Centroids[j] {
+				if got.Centroids[j][i] != want.Centroids[j][i] {
+					t.Fatalf("workers=%d: centroid[%d][%d] = %v, want %v",
+						w, j, i, got.Centroids[j][i], want.Centroids[j][i])
+				}
+			}
+		}
+	}
+}
+
+// TestLloydPublisherBitIdentical is the same guarantee for the generic
+// engine with an ED/mean (k-means) configuration.
+func TestLloydPublisherBitIdentical(t *testing.T) {
+	data, _ := twoClassShiftedData(25, 32, rand.New(rand.NewSource(3)))
+
+	run := func(publish bool, workers int) *runSnapshot {
+		if publish {
+			pub := obs.NewProgressPublisher()
+			prevPub := obs.SetProgressPublisher(pub)
+			defer obs.SetProgressPublisher(prevPub)
+		}
+		snap := &runSnapshot{}
+		res, err := Lloyd(data, Config{
+			K:           4,
+			Distance:    func(c, x []float64) float64 { return dist.ED(c, x) },
+			Centroid:    avg.MeanAverager{}.Average,
+			Rand:        rand.New(rand.NewSource(5)),
+			OnIteration: snap.record,
+			Workers:     workers,
+		})
+		if err != nil {
+			t.Fatalf("publish=%v workers=%d: %v", publish, workers, err)
+		}
+		snap.res = *res
+		return snap
+	}
+
+	want := run(false, 1)
+	for _, w := range workerCounts {
+		snapshotsEqual(t, want, run(true, w), "Lloyd publisher-on workers="+strconv.Itoa(w))
+	}
+}
+
+// TestKShapeRunPublishedHistoryMatchesTrace checks that what the engines
+// publish is exactly the OnIteration trajectory: same iterations, same
+// per-cluster drift, same silhouette samples, no extras.
+func TestKShapeRunPublishedHistoryMatchesTrace(t *testing.T) {
+	data, _ := twoClassShiftedData(20, 48, rand.New(rand.NewSource(7)))
+	pub := obs.NewProgressPublisher()
+	prevPub := obs.SetProgressPublisher(pub)
+	defer obs.SetProgressPublisher(prevPub)
+
+	var trace []obs.IterationStats
+	res, err := KShapeRun(data, 3, rand.New(rand.NewSource(11)), KShapeOpts{
+		OnIteration: func(st obs.IterationStats) { trace = append(trace, st) },
+		Workers:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	history, dropped := pub.History()
+	if dropped != 0 || len(history) != len(trace) {
+		t.Fatalf("published %d iterations (%d dropped), trace has %d", len(history), dropped, len(trace))
+	}
+	for i := range trace {
+		w, g := trace[i], history[i]
+		if g.Iteration != w.Iteration || g.Inertia != w.Inertia || g.LabelChurn != w.LabelChurn ||
+			g.InertiaDelta != w.InertiaDelta || g.SilhouetteSample != w.SilhouetteSample {
+			t.Errorf("history[%d] = %+v, want %+v", i, g, w)
+		}
+		if len(g.CentroidDrift) != len(w.CentroidDrift) {
+			t.Fatalf("history[%d] drift %v, want %v", i, g.CentroidDrift, w.CentroidDrift)
+		}
+		for j := range w.CentroidDrift {
+			if g.CentroidDrift[j] != w.CentroidDrift[j] {
+				t.Errorf("history[%d] drift[%d] = %v, want %v", i, j, g.CentroidDrift[j], w.CentroidDrift[j])
+			}
+		}
+	}
+	last := trace[len(trace)-1]
+	snap, ok := pub.Snapshot()
+	if !ok || snap.Iteration != last.Iteration || snap.Inertia != last.Inertia {
+		t.Errorf("final snapshot %+v does not mirror last iteration %+v", snap, last)
+	}
+	if res.Converged && snap.LabelChurn != 0 {
+		t.Errorf("converged run's final churn = %d", snap.LabelChurn)
+	}
+}
+
+// TestRunObserverSilhouetteRange sanity-checks the sampled silhouette on
+// well-separated data: scores must land in [-1, 1] and, once the
+// clustering settles, be positive.
+func TestRunObserverSilhouetteRange(t *testing.T) {
+	data, _ := twoClassShiftedData(20, 48, rand.New(rand.NewSource(7)))
+	var trace []obs.IterationStats
+	res, err := KShapeRun(data, 2, rand.New(rand.NewSource(11)), KShapeOpts{
+		OnIteration: func(st obs.IterationStats) { trace = append(trace, st) },
+		Workers:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range trace {
+		if st.SilhouetteSample < -1 || st.SilhouetteSample > 1 {
+			t.Errorf("iteration %d: silhouette %v out of [-1, 1]", i+1, st.SilhouetteSample)
+		}
+	}
+	if res.Converged {
+		final := trace[len(trace)-1].SilhouetteSample
+		if final <= 0 {
+			t.Errorf("final silhouette %v on separable data; expected > 0", final)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import "math"
+
+// Convergence diagnostics derived from the label-churn trajectory. The
+// Lloyd-style engines converge when churn hits zero; the shape of the
+// churn sequence before that tells an operator whether a run is healthy
+// (geometric decay), stalled (churn flat and nonzero — the assignment
+// keeps shuffling the same series), or oscillating (a period-2 cycle
+// between two label configurations, the classic Lloyd limit cycle).
+// These are heuristics for dashboards and progress lines, not
+// termination criteria: the engines never read them.
+
+// Diagnosis is the convergence health summary Diagnose derives from a
+// churn history.
+type Diagnosis struct {
+	// Stalled reports that churn has been flat and nonzero for the last
+	// stallWindow iterations: the run is moving the same number of series
+	// every pass without approaching the fixed point.
+	Stalled bool `json:"stalled"`
+	// Oscillating reports a period-2 churn pattern (a,b,a,b,...) with
+	// a != b over the last oscillationWindow iterations — the signature of
+	// a label limit cycle.
+	Oscillating bool `json:"oscillating"`
+	// ETAIterations estimates how many more iterations until churn
+	// reaches zero, from the geometric decay ratio of the recent churn
+	// history. 0 means converged, -1 means no estimate (too little
+	// history, or churn is not decaying).
+	ETAIterations int `json:"eta_iterations"`
+}
+
+// Diagnosis window sizes. Stalls need a few flat iterations to be
+// distinguishable from a plateau mid-decay; oscillations need three full
+// periods before the pattern is trustworthy.
+const (
+	stallWindow       = 4
+	oscillationWindow = 6
+	// etaMaxHorizon caps the ETA estimate: beyond this the decay ratio is
+	// so close to 1 that the extrapolation is meaningless.
+	etaMaxHorizon = 1000
+)
+
+// Diagnose inspects a churn history (churn[i] is iteration i+1's label
+// churn, oldest first) and returns the stall/oscillation flags plus an
+// ETA estimate. It is pure and deterministic.
+func Diagnose(churn []int) Diagnosis {
+	return Diagnosis{
+		Stalled:       stalled(churn),
+		Oscillating:   oscillating(churn),
+		ETAIterations: etaIterations(churn),
+	}
+}
+
+// stalled reports whether the last stallWindow churn values are equal and
+// nonzero.
+func stalled(churn []int) bool {
+	if len(churn) < stallWindow {
+		return false
+	}
+	w := churn[len(churn)-stallWindow:]
+	if w[0] == 0 {
+		return false
+	}
+	for _, c := range w[1:] {
+		if c != w[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// oscillating reports a strict period-2 pattern over the last
+// oscillationWindow values: churn alternates between two distinct
+// nonzero values. A flat sequence is a stall, not an oscillation.
+func oscillating(churn []int) bool {
+	if len(churn) < oscillationWindow {
+		return false
+	}
+	w := churn[len(churn)-oscillationWindow:]
+	a, b := w[0], w[1]
+	if a == b || a == 0 || b == 0 {
+		return false
+	}
+	for i, c := range w {
+		want := a
+		if i%2 == 1 {
+			want = b
+		}
+		if c != want {
+			return false
+		}
+	}
+	return true
+}
+
+// etaIterations extrapolates the churn decay. The churn of a healthy
+// Lloyd run decays roughly geometrically (each pass re-assigns a
+// shrinking boundary set), so the estimate fits a ratio r over the
+// recent window and solves c*r^t < 0.5 for t. Returns 0 when churn is
+// already zero, -1 when there is no usable decay signal.
+func etaIterations(churn []int) int {
+	n := len(churn)
+	if n == 0 {
+		return -1
+	}
+	last := churn[n-1]
+	if last == 0 {
+		return 0
+	}
+	if n < 3 {
+		return -1
+	}
+	// Geometric-mean decay ratio over up to the last 4 steps.
+	const window = 4
+	lo := n - 1 - window
+	if lo < 0 {
+		lo = 0
+	}
+	logSum, steps := 0.0, 0
+	for i := lo; i < n-1; i++ {
+		prev, next := churn[i], churn[i+1]
+		if prev <= 0 {
+			// Churn rose from zero: a reseed restarted the decay, so older
+			// history does not describe the current regime.
+			logSum, steps = 0, 0
+			continue
+		}
+		logSum += math.Log(float64(next) / float64(prev))
+		steps++
+	}
+	if steps == 0 {
+		return -1
+	}
+	logR := logSum / float64(steps)
+	if logR >= -0.01 { // r >= ~0.99: not decaying
+		return -1
+	}
+	// Solve last * r^t = 0.5 (churn is integral, so below 0.5 means 0).
+	t := math.Ceil(math.Log(0.5/float64(last)) / logR)
+	if t < 1 {
+		t = 1
+	}
+	if t > etaMaxHorizon {
+		return -1
+	}
+	return int(t)
+}

@@ -1,0 +1,73 @@
+package obs
+
+import "testing"
+
+func TestDiagnoseEmptyAndShortHistories(t *testing.T) {
+	if d := Diagnose(nil); d.Stalled || d.Oscillating || d.ETAIterations != -1 {
+		t.Errorf("empty history: %+v", d)
+	}
+	if d := Diagnose([]int{5}); d.Stalled || d.Oscillating || d.ETAIterations != -1 {
+		t.Errorf("one iteration: %+v", d)
+	}
+	if d := Diagnose([]int{5, 0}); d.ETAIterations != 0 {
+		t.Errorf("converged history should report ETA 0: %+v", d)
+	}
+}
+
+func TestDiagnoseStalled(t *testing.T) {
+	if d := Diagnose([]int{20, 10, 4, 4, 4, 4}); !d.Stalled {
+		t.Errorf("flat nonzero tail not reported as stalled: %+v", d)
+	}
+	if d := Diagnose([]int{4, 4, 4, 4}); !d.Stalled {
+		t.Error("exactly stallWindow flat values not reported")
+	}
+	if d := Diagnose([]int{4, 4, 4}); d.Stalled {
+		t.Error("too-short flat tail reported as stalled")
+	}
+	if d := Diagnose([]int{4, 4, 0, 0, 0, 0}); d.Stalled {
+		t.Error("flat-at-zero tail is convergence, not a stall")
+	}
+	if d := Diagnose([]int{8, 4, 4, 4, 2}); d.Stalled {
+		t.Error("decaying tail reported as stalled")
+	}
+}
+
+func TestDiagnoseOscillating(t *testing.T) {
+	if d := Diagnose([]int{3, 7, 3, 7, 3, 7}); !d.Oscillating {
+		t.Errorf("period-2 pattern not detected: %+v", d)
+	}
+	if d := Diagnose([]int{50, 20, 3, 7, 3, 7, 3, 7}); !d.Oscillating {
+		t.Error("period-2 tail after decay not detected")
+	}
+	if d := Diagnose([]int{3, 3, 3, 3, 3, 3}); d.Oscillating {
+		t.Error("flat sequence misreported as oscillating (it is a stall)")
+	}
+	if d := Diagnose([]int{3, 7, 3, 7}); d.Oscillating {
+		t.Error("two periods is below the detection window")
+	}
+	if d := Diagnose([]int{3, 7, 3, 8, 3, 7}); d.Oscillating {
+		t.Error("broken pattern misreported")
+	}
+}
+
+func TestDiagnoseETAFromGeometricDecay(t *testing.T) {
+	// Churn halving every iteration: 64, 32, 16, 8 → r = 0.5, so
+	// 8·0.5^t < 0.5 at t = 4.
+	d := Diagnose([]int{64, 32, 16, 8})
+	if d.ETAIterations != 4 {
+		t.Errorf("halving decay: ETA = %d, want 4", d.ETAIterations)
+	}
+	// Flat churn has no decay signal.
+	if d := Diagnose([]int{5, 5, 5, 5, 5}); d.ETAIterations != -1 {
+		t.Errorf("flat churn: ETA = %d, want -1", d.ETAIterations)
+	}
+	// Growing churn has no decay signal either.
+	if d := Diagnose([]int{2, 4, 8, 16}); d.ETAIterations != -1 {
+		t.Errorf("growing churn: ETA = %d, want -1", d.ETAIterations)
+	}
+	// A reseed spike from zero restarts the regime; the estimator must
+	// not divide by the zero churn.
+	if d := Diagnose([]int{4, 0, 6, 3}); d.ETAIterations < -1 {
+		t.Errorf("restart history mishandled: %+v", d)
+	}
+}

@@ -68,6 +68,8 @@ func WritePrometheus(dst io.Writer) error {
 		fmt.Fprintf(&w, "kshape_phase_duration_seconds_count{phase=%q} %d\n", h.Name, h.Count)
 	}
 
+	writeProgressMetrics(&w)
+
 	fmt.Fprintln(&w, "# HELP kshape_build_info Build metadata; the value is always 1.")
 	fmt.Fprintln(&w, "# TYPE kshape_build_info gauge")
 	info := BuildInfo()
@@ -82,6 +84,51 @@ func boolToInt(b bool) int {
 		return 1
 	}
 	return 0
+}
+
+// writeProgressMetrics renders the live-progress gauge family from the
+// active publisher's latest snapshot; no publisher or no snapshot means
+// no progress families, so scrapes of idle processes stay small.
+func writeProgressMetrics(w *strings.Builder) {
+	pub := ActiveProgressPublisher()
+	if pub == nil {
+		return
+	}
+	p, ok := pub.Snapshot()
+	if !ok {
+		return
+	}
+	fmt.Fprintln(w, "# HELP kshape_progress_info Live run identity; the value is always 1.")
+	fmt.Fprintln(w, "# TYPE kshape_progress_info gauge")
+	fmt.Fprintf(w, "kshape_progress_info{method=%q,phase=%q} 1\n", p.Method, p.Phase)
+	scalar := func(name, help string, v string) {
+		fmt.Fprintf(w, "# HELP kshape_progress_%s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE kshape_progress_%s gauge\n", name)
+		fmt.Fprintf(w, "kshape_progress_%s %s\n", name, v)
+	}
+	ints := func(name, help string, v int64) { scalar(name, help, strconv.FormatInt(v, 10)) }
+	floats := func(name, help string, v float64) {
+		scalar(name, help, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	ints("seq", "Snapshot sequence number of the live run.", p.Seq)
+	ints("iteration", "Last completed refinement iteration.", int64(p.Iteration))
+	ints("max_iterations", "Configured iteration cap.", int64(p.MaxIterations))
+	floats("inertia", "Objective value after the last iteration.", p.Inertia)
+	floats("inertia_delta", "Inertia change versus the previous iteration.", p.InertiaDelta)
+	ints("label_churn", "Series that changed cluster in the last iteration.", int64(p.LabelChurn))
+	floats("centroid_drift_max", "Largest per-cluster centroid drift (SBD) of the last iteration.", p.DriftMax)
+	floats("silhouette_sample", "Sampled simplified-silhouette estimate of the last iteration.", p.SilhouetteSample)
+	ints("eta_iterations", "Estimated iterations to convergence (-1 unknown).", int64(p.ETAIterations))
+	ints("stalled", "Whether churn is flat and nonzero (1) or not (0).", int64(boolToInt(p.Stalled)))
+	ints("oscillating", "Whether churn shows a period-2 cycle (1) or not (0).", int64(boolToInt(p.Oscillating)))
+	ints("converged", "Whether the run reached its fixed point (1) or not (0).", int64(boolToInt(p.Converged)))
+	if len(p.ClusterSizes) > 0 {
+		fmt.Fprintln(w, "# HELP kshape_progress_cluster_size Live cluster occupancy of the in-flight run.")
+		fmt.Fprintln(w, "# TYPE kshape_progress_cluster_size gauge")
+		for j, s := range p.ClusterSizes {
+			fmt.Fprintf(w, "kshape_progress_cluster_size{cluster=\"%d\"} %d\n", j, s)
+		}
+	}
 }
 
 // MetricsHandler serves WritePrometheus output.
@@ -126,13 +173,15 @@ var publishExpvar = sync.OnceFunc(func() {
 })
 
 // NewTelemetryMux builds the HTTP surface served by -listen: Prometheus
-// metrics on /metrics, a liveness probe on /healthz, expvar JSON on
-// /debug/vars, and the runtime profiler under /debug/pprof/.
+// metrics on /metrics, the live-progress SSE stream on /progress, a
+// liveness probe on /healthz, expvar JSON on /debug/vars, and the
+// runtime profiler under /debug/pprof/.
 func NewTelemetryMux() *http.ServeMux {
 	publishExpvar()
 	started := time.Now()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler())
+	mux.Handle("/progress", ProgressHandler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		// Probe responses are best-effort: a prober that hung up mid-read

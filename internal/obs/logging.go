@@ -65,8 +65,11 @@ func (s IterationStats) LogValue() slog.Value {
 	return slog.GroupValue(
 		slog.Int("iteration", s.Iteration),
 		slog.Float64("inertia", s.Inertia),
+		slog.Float64("inertia_delta", s.InertiaDelta),
 		slog.Int("label_churn", s.LabelChurn),
 		slog.Int("reseeds", s.Reseeds),
+		slog.Float64("drift_max", s.DriftMax()),
+		slog.Float64("silhouette_sample", s.SilhouetteSample),
 		slog.Int64("refine_ns", s.RefineNS),
 		slog.Int64("assign_ns", s.AssignNS),
 	)

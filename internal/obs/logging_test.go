@@ -35,6 +35,7 @@ func TestNewLoggerJSONSchema(t *testing.T) {
 	logger.Info("refinement iteration", "stats", IterationStats{
 		Iteration: 3, Inertia: 1.5, LabelChurn: 2, Reseeds: 1,
 		RefineNS: 100, AssignNS: 50,
+		InertiaDelta: -0.5, CentroidDrift: []float64{0.2, 0.7}, SilhouetteSample: 0.4,
 	})
 	var rec map[string]any
 	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
@@ -47,10 +48,16 @@ func TestNewLoggerJSONSchema(t *testing.T) {
 	if !ok {
 		t.Fatalf("stats not a group: %v", rec["stats"])
 	}
-	for _, key := range []string{"iteration", "inertia", "label_churn", "reseeds", "refine_ns", "assign_ns"} {
+	for _, key := range []string{
+		"iteration", "inertia", "label_churn", "reseeds", "refine_ns", "assign_ns",
+		"inertia_delta", "drift_max", "silhouette_sample",
+	} {
 		if _, ok := stats[key]; !ok {
 			t.Errorf("stats missing %q", key)
 		}
+	}
+	if got := stats["drift_max"]; got != 0.7 {
+		t.Errorf("drift_max = %v, want max of centroid drifts", got)
 	}
 }
 

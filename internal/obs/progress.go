@@ -1,0 +1,371 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements live progress publication: a per-run publisher
+// that turns the engine's IterationStats stream into (1) an atomically
+// published Progress snapshot concurrent readers scrape without locks,
+// (2) a bounded iteration history the dashboard renders after the run,
+// and (3) a fan-out to Server-Sent-Events subscribers. Installation
+// mirrors the flight recorder: one publisher is active per process
+// (SetProgressPublisher), and the engine-side hooks cost a single atomic
+// pointer load when none is installed. Publication is observation only —
+// it never feeds back into the clustering, so results are bit-identical
+// with the publisher on or off.
+
+// Progress phase names.
+const (
+	// ProgressPhaseInit is published by BeginRun, before iteration 1.
+	ProgressPhaseInit = "initializing"
+	// ProgressPhaseIterating is published once per completed iteration.
+	ProgressPhaseIterating = "iterating"
+	// ProgressPhaseDone is published by EndRun.
+	ProgressPhaseDone = "done"
+)
+
+// Progress is one immutable snapshot of a clustering run's state. The
+// publisher stores a fresh value per event; readers get a consistent
+// view from a single atomic load (the slices are never mutated after
+// publication).
+type Progress struct {
+	// Seq increases by one per published snapshot, so pollers can detect
+	// missed updates.
+	Seq int64 `json:"seq"`
+	// Method is the algorithm name ("k-Shape", "k-AVG+ED", ...), empty
+	// until BeginRun.
+	Method string `json:"method"`
+	// Phase is one of the ProgressPhase* constants.
+	Phase string `json:"phase"`
+	// Series and K describe the run's shape: number of time series and
+	// requested clusters.
+	Series int `json:"series"`
+	K      int `json:"k"`
+	// Iteration is the last completed iteration (0 before the first);
+	// MaxIterations is the configured cap.
+	Iteration     int `json:"iteration"`
+	MaxIterations int `json:"max_iterations"`
+	// Inertia, InertiaDelta, LabelChurn, ClusterSizes, CentroidDrift and
+	// SilhouetteSample mirror the latest IterationStats.
+	Inertia          float64   `json:"inertia"`
+	InertiaDelta     float64   `json:"inertia_delta"`
+	LabelChurn       int       `json:"label_churn"`
+	ClusterSizes     []int     `json:"cluster_sizes,omitempty"`
+	CentroidDrift    []float64 `json:"centroid_drift,omitempty"`
+	DriftMax         float64   `json:"drift_max"`
+	SilhouetteSample float64   `json:"silhouette_sample"`
+	// Converged is set by EndRun.
+	Converged bool `json:"converged"`
+	// Stalled, Oscillating and ETAIterations are the convergence
+	// diagnostics (see Diagnose); ETAIterations is -1 when unknown.
+	Stalled       bool `json:"stalled"`
+	Oscillating   bool `json:"oscillating"`
+	ETAIterations int  `json:"eta_iterations"`
+	// UpdatedNS is the publisher-clock offset (monotonic nanoseconds
+	// since NewProgressPublisher) at publication time.
+	UpdatedNS int64 `json:"updated_ns"`
+}
+
+// maxProgressHistory bounds the retained iteration history. Runs beyond
+// the cap keep the newest entries; HistoryDropped counts the evictions.
+const maxProgressHistory = 1 << 12
+
+// ProgressPublisher converts engine iteration callbacks into scrapeable
+// snapshots, a bounded history, and subscriber fan-out. All methods are
+// safe for concurrent use.
+type ProgressPublisher struct {
+	clock Stopwatch
+	snap  atomic.Pointer[Progress]
+	seq   atomic.Int64
+
+	mu      sync.Mutex
+	subs    map[chan Progress]struct{}
+	history []IterationStats
+	dropped int64
+	churn   []int
+	method  string
+	series  int
+	k       int
+	maxIter int
+}
+
+// NewProgressPublisher builds a publisher; its clock starts at the
+// moment of the call. Install it with SetProgressPublisher.
+func NewProgressPublisher() *ProgressPublisher {
+	return &ProgressPublisher{
+		clock: NewStopwatch(),
+		subs:  make(map[chan Progress]struct{}),
+	}
+}
+
+// activeProgress is the process-global publisher the engine-side hooks
+// consult; nil means progress publication is off and each hook costs one
+// atomic pointer load.
+var activeProgress atomic.Pointer[ProgressPublisher]
+
+// SetProgressPublisher installs p (nil uninstalls) and returns the
+// previously active publisher.
+func SetProgressPublisher(p *ProgressPublisher) (previous *ProgressPublisher) {
+	return activeProgress.Swap(p)
+}
+
+// ActiveProgressPublisher returns the installed publisher, or nil.
+func ActiveProgressPublisher() *ProgressPublisher { return activeProgress.Load() }
+
+// BeginRun resets the publisher for a new run and publishes an
+// initializing snapshot. A publisher is reusable across sequential runs
+// (restarts, benchmark sweeps); the history always describes the latest.
+func (p *ProgressPublisher) BeginRun(method string, series, k, maxIterations int) {
+	p.mu.Lock()
+	p.method, p.series, p.k, p.maxIter = method, series, k, maxIterations
+	p.history = p.history[:0]
+	p.dropped = 0
+	p.churn = p.churn[:0]
+	p.mu.Unlock()
+	p.publish(Progress{
+		Method: method, Phase: ProgressPhaseInit,
+		Series: series, K: k, MaxIterations: maxIterations,
+		ETAIterations: -1,
+	})
+}
+
+// PublishIteration folds one completed iteration into the history and
+// publishes the updated snapshot.
+func (p *ProgressPublisher) PublishIteration(st IterationStats) {
+	p.mu.Lock()
+	if len(p.history) >= maxProgressHistory {
+		copy(p.history, p.history[1:])
+		p.history = p.history[:maxProgressHistory-1]
+		p.dropped++
+	}
+	p.history = append(p.history, st)
+	p.churn = append(p.churn, st.LabelChurn)
+	diag := Diagnose(p.churn)
+	next := Progress{
+		Method: p.method, Phase: ProgressPhaseIterating,
+		Series: p.series, K: p.k,
+		Iteration: st.Iteration, MaxIterations: p.maxIter,
+		Inertia: st.Inertia, InertiaDelta: st.InertiaDelta,
+		LabelChurn:       st.LabelChurn,
+		ClusterSizes:     append([]int(nil), st.ClusterSizes...),
+		CentroidDrift:    append([]float64(nil), st.CentroidDrift...),
+		DriftMax:         st.DriftMax(),
+		SilhouetteSample: st.SilhouetteSample,
+		Stalled:          diag.Stalled, Oscillating: diag.Oscillating,
+		ETAIterations: diag.ETAIterations,
+	}
+	p.mu.Unlock()
+	p.publish(next)
+}
+
+// EndRun publishes the terminal snapshot, carrying the last iteration's
+// metrics forward with the done phase and the convergence flag.
+func (p *ProgressPublisher) EndRun(converged bool) {
+	p.mu.Lock()
+	next := Progress{Method: p.method, Phase: ProgressPhaseDone, ETAIterations: -1}
+	p.mu.Unlock()
+	if cur := p.snap.Load(); cur != nil {
+		next = *cur
+		next.Phase = ProgressPhaseDone
+	}
+	next.Converged = converged
+	if converged {
+		next.ETAIterations = 0
+	}
+	p.publish(next)
+}
+
+// publish stamps, stores, and fans out one snapshot.
+func (p *ProgressPublisher) publish(next Progress) {
+	next.Seq = p.seq.Add(1)
+	next.UpdatedNS = p.clock.ElapsedNS()
+	p.snap.Store(&next)
+	p.mu.Lock()
+	// Every subscriber receives the same value and sends never block, so
+	// delivery order across subscribers is unobservable.
+	//lint:ignore maporder independent non-blocking sends of one value; order is unobservable
+	for ch := range p.subs {
+		select {
+		case ch <- next:
+		default: // slow subscriber: drop, never block the engine
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Snapshot returns the latest published snapshot; ok is false before the
+// first publication. The call is a single atomic load plus a copy.
+func (p *ProgressPublisher) Snapshot() (snap Progress, ok bool) {
+	if cur := p.snap.Load(); cur != nil {
+		return *cur, true
+	}
+	return Progress{}, false
+}
+
+// History returns a copy of the retained iteration history (oldest
+// first) and how many early iterations were evicted past the cap.
+func (p *ProgressPublisher) History() (stats []IterationStats, dropped int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]IterationStats, len(p.history))
+	copy(out, p.history)
+	return out, p.dropped
+}
+
+// Subscribe registers a snapshot channel with the given buffer (<= 0
+// means 16) and returns it with its cancel function. Snapshots a full
+// buffer cannot absorb are dropped — subscribers observe the freshest
+// state, not a lossless log. Cancel is idempotent and closes the channel.
+func (p *ProgressPublisher) Subscribe(buffer int) (<-chan Progress, func()) {
+	if buffer <= 0 {
+		buffer = 16
+	}
+	ch := make(chan Progress, buffer)
+	p.mu.Lock()
+	p.subs[ch] = struct{}{}
+	p.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			p.mu.Lock()
+			delete(p.subs, ch)
+			p.mu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// Package-level hooks for the engines: no-ops costing one atomic load
+// when no publisher is installed.
+
+// ProgressBeginRun forwards to the active publisher's BeginRun.
+func ProgressBeginRun(method string, series, k, maxIterations int) {
+	if p := activeProgress.Load(); p != nil {
+		p.BeginRun(method, series, k, maxIterations)
+	}
+}
+
+// ProgressPublishIteration forwards to the active publisher.
+func ProgressPublishIteration(st IterationStats) {
+	if p := activeProgress.Load(); p != nil {
+		p.PublishIteration(st)
+	}
+}
+
+// ProgressEndRun forwards to the active publisher's EndRun.
+func ProgressEndRun(converged bool) {
+	if p := activeProgress.Load(); p != nil {
+		p.EndRun(converged)
+	}
+}
+
+// DefaultProgressHeartbeat is the SSE comment-ping interval when no
+// snapshot arrives; it keeps idle connections alive through proxies.
+const DefaultProgressHeartbeat = 15 * time.Second
+
+// ProgressHandler returns the /progress Server-Sent-Events handler: one
+// `data:` event per published snapshot (JSON, the Progress schema) plus
+// an initial event replaying the current snapshot on connect, and
+// comment heartbeats while idle. The stream follows whichever publisher
+// is active, so a connection opened before a run starts begins emitting
+// once SetProgressPublisher installs one.
+func ProgressHandler() http.Handler { return progressHandler(DefaultProgressHeartbeat) }
+
+// progressHandler is ProgressHandler with the heartbeat interval
+// exposed for tests.
+func progressHandler(heartbeat time.Duration) http.Handler {
+	if heartbeat <= 0 {
+		heartbeat = DefaultProgressHeartbeat
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-store")
+		h.Set("X-Accel-Buffering", "no")
+		w.WriteHeader(http.StatusOK)
+
+		send := func(p Progress) bool {
+			data, err := json.Marshal(p)
+			if err != nil {
+				return false
+			}
+			if _, err := w.Write(append(append([]byte("data: "), data...), '\n', '\n')); err != nil {
+				return false
+			}
+			fl.Flush()
+			return true
+		}
+		heartbeatMsg := []byte(": heartbeat\n\n")
+
+		// Track the active publisher across the connection: a nil channel
+		// blocks forever in select, so an idle stream only wakes on the
+		// heartbeat (where it re-checks for a newly installed publisher).
+		var (
+			pub    *ProgressPublisher
+			events <-chan Progress
+			cancel func()
+		)
+		defer func() {
+			if cancel != nil {
+				cancel()
+			}
+		}()
+		resubscribe := func() bool {
+			cur := ActiveProgressPublisher()
+			if cur == pub {
+				return true
+			}
+			if cancel != nil {
+				cancel()
+				events, cancel = nil, nil
+			}
+			pub = cur
+			if pub == nil {
+				return true
+			}
+			events, cancel = pub.Subscribe(0)
+			if snap, ok := pub.Snapshot(); ok && !send(snap) {
+				return false
+			}
+			return true
+		}
+		if !resubscribe() {
+			return
+		}
+		ticker := time.NewTicker(heartbeat)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case p, ok := <-events:
+				if !ok { // publisher swapped out under us
+					events, cancel = nil, nil
+					continue
+				}
+				if !send(p) {
+					return
+				}
+			case <-ticker.C:
+				if !resubscribe() {
+					return
+				}
+				if _, err := w.Write(heartbeatMsg); err != nil {
+					return
+				}
+				fl.Flush()
+			}
+		}
+	})
+}

@@ -23,6 +23,35 @@ type IterationStats struct {
 	AssignNS int64 `json:"assign_ns"`
 	// Reseeds is the number of empty clusters re-seeded this iteration.
 	Reseeds int `json:"reseeds"`
+	// CentroidDrift is the SBD between each cluster's centroid before and
+	// after this iteration's refinement step — the per-cluster movement in
+	// shape space. A freshly (re)seeded or first-iteration centroid drifts
+	// from the zero series, which SBD maps to 1. Empty when the engine ran
+	// without an observer that requested it.
+	CentroidDrift []float64 `json:"centroid_drift,omitempty"`
+	// InertiaDelta is this iteration's inertia minus the previous
+	// iteration's (0 on the first iteration): negative while the objective
+	// improves, 0 at the fixed point.
+	InertiaDelta float64 `json:"inertia_delta"`
+	// SilhouetteSample is a simplified (centroid-based) silhouette score
+	// over a fixed, seeded sample of series: a is the distance to the own
+	// centroid, b the minimum distance to any other centroid, and the score
+	// averages (b-a)/max(a,b). It reuses distances the assignment step
+	// already computed, so it is deterministic and costs no extra kernel
+	// evaluations. 0 when k < 2 or no observer requested it.
+	SilhouetteSample float64 `json:"silhouette_sample"`
+}
+
+// DriftMax returns the largest per-cluster centroid drift of the
+// iteration, or 0 when drift was not observed.
+func (s IterationStats) DriftMax() float64 {
+	max := 0.0
+	for _, d := range s.CentroidDrift {
+		if d > max {
+			max = d
+		}
+	}
+	return max
 }
 
 // RunTrace summarizes one clustering run: the per-iteration trajectory plus

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestIterationStatsJSONRoundTrip(t *testing.T) {
+	in := IterationStats{
+		Iteration: 4, Inertia: 17.375, LabelChurn: 6,
+		ClusterSizes: []int{12, 9, 3}, RefineNS: 1500, AssignNS: 800, Reseeds: 1,
+		CentroidDrift: []float64{0.25, 0.5, 1}, InertiaDelta: -2.625,
+		SilhouetteSample: 0.4375,
+	}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"iteration":4`, `"centroid_drift":[0.25,0.5,1]`,
+		`"inertia_delta":-2.625`, `"silhouette_sample":0.4375`,
+	} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("marshal missing %s: %s", key, raw)
+		}
+	}
+	var out IterationStats
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestIterationStatsDriftOmittedWhenUnobserved(t *testing.T) {
+	raw, err := json.Marshal(IterationStats{Iteration: 1, Inertia: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "centroid_drift") {
+		t.Errorf("empty drift serialized: %s", raw)
+	}
+}
+
+func TestDriftMax(t *testing.T) {
+	if got := (IterationStats{}).DriftMax(); got != 0 {
+		t.Errorf("no drift: DriftMax = %v", got)
+	}
+	st := IterationStats{CentroidDrift: []float64{0.1, 0.9, 0.4}}
+	if got := st.DriftMax(); got != 0.9 {
+		t.Errorf("DriftMax = %v, want 0.9", got)
+	}
+}
+
+func TestRunTraceJSONRoundTrip(t *testing.T) {
+	in := RunTrace{
+		Method: "k-Shape",
+		Iterations: []IterationStats{
+			{Iteration: 1, Inertia: 20, LabelChurn: 18, ClusterSizes: []int{10, 10},
+				CentroidDrift: []float64{1, 1}, SilhouetteSample: 0.25},
+			{Iteration: 2, Inertia: 15, LabelChurn: 0, ClusterSizes: []int{11, 9},
+				CentroidDrift: []float64{0.125, 0.0625}, InertiaDelta: -5,
+				SilhouetteSample: 0.5},
+		},
+		Counters:  Counters{FFT: 42, SBD: 7},
+		TotalNS:   123456,
+		Converged: true,
+	}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out RunTrace
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}

@@ -1,0 +1,130 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kshape/internal/obs"
+	"kshape/internal/testkit"
+)
+
+// sampleDashboard is a fixed, fully-populated DashboardData covering every
+// section of the page: convergence curves with drift and silhouette,
+// phase latencies, a timeline, counters, and build identity.
+func sampleDashboard() DashboardData {
+	d := DashboardData{
+		Title:     "kshape run f00dcafe",
+		Tool:      "kshape",
+		Method:    "k-Shape",
+		RunID:     "f00dcafe",
+		Converged: true,
+		WallNS:    123_456_789,
+		Workers:   2,
+		Iterations: []obs.IterationStats{
+			{Iteration: 1, Inertia: 41.25, LabelChurn: 37, ClusterSizes: []int{20, 21, 19},
+				RefineNS: 31_000_000, AssignNS: 8_500_000,
+				CentroidDrift: []float64{1, 1, 1}, SilhouetteSample: 0.125},
+			{Iteration: 2, Inertia: 30.5, InertiaDelta: -10.75, LabelChurn: 9, Reseeds: 1,
+				ClusterSizes: []int{22, 18, 20}, RefineNS: 29_250_000, AssignNS: 8_000_000,
+				CentroidDrift: []float64{0.25, 0.125, 0.5}, SilhouetteSample: 0.375},
+			{Iteration: 3, Inertia: 29.875, InertiaDelta: -0.625, LabelChurn: 0,
+				ClusterSizes: []int{22, 18, 20}, RefineNS: 28_000_000, AssignNS: 7_750_000,
+				CentroidDrift: []float64{0.0625, 0, 0.03125}, SilhouetteSample: 0.4375},
+		},
+		Phases: []obs.PhaseStats{
+			{Name: "assign", Count: 3, SumNS: 24_250_000, P50NS: 8_000_000, P95NS: 8_500_000, P99NS: 8_500_000},
+			{Name: "refine", Count: 3, SumNS: 88_250_000, P50NS: 29_250_000, P95NS: 31_000_000, P99NS: 31_000_000},
+		},
+		Timeline: []TimelineSpan{
+			{Worker: -1, Phase: "assign", StartNS: 0, DurNS: 500},
+			{Worker: 0, Phase: "assign", StartNS: 10, DurNS: 200},
+			{Worker: 1, Phase: "refine", StartNS: 520, DurNS: 300},
+		},
+		TimelineWorkers: 2,
+		Build: map[string]string{
+			"go_version": "go1.24.0",
+			"vcs":        "git",
+			"revision":   "abc1234",
+		},
+	}
+	d.Counters.FFT = 1234
+	d.Counters.IFFT = 1230
+	d.Counters.SBD = 615
+	d.Counters.ShapeExtractions = 9
+	d.Counters.Reseeds = 1
+	return d
+}
+
+// TestGoldenDashboard pins the single-file HTML dashboard byte-for-byte:
+// the page is a published artifact (CI uploads it from bench-smoke runs),
+// so its layout only changes deliberately. Regenerate with
+// `go test ./internal/plot/ -run Golden -update`.
+func TestGoldenDashboard(t *testing.T) {
+	testkit.Golden(t, "dashboard", string(Dashboard(sampleDashboard())))
+}
+
+func TestDashboardSections(t *testing.T) {
+	page := string(Dashboard(sampleDashboard()))
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>",
+		"kshape run f00dcafe", "k-Shape", "converged",
+		"Convergence", "inertia", "Centroid drift", "silhouette",
+		"Phase latency", "assign", "refine",
+		"Execution timeline", "worker 0", "worker 1",
+		"Kernel counters", "fft", "sbd",
+		"Build", "go_version", "abc1234",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	if strings.Contains(page, "<script") {
+		t.Error("dashboard must be script-free (self-contained static HTML)")
+	}
+	// Self-contained: no fetched resources (the SVG xmlns URI is a
+	// namespace identifier, not a fetch).
+	if strings.Contains(page, "src=") || strings.Contains(page, "href=") {
+		t.Error("dashboard must not reference external resources")
+	}
+}
+
+// TestDashboardDeterministic renders twice and requires identical bytes —
+// map-ordered sections (counters, build info) must be sorted internally.
+func TestDashboardDeterministic(t *testing.T) {
+	a := Dashboard(sampleDashboard())
+	b := Dashboard(sampleDashboard())
+	if !bytes.Equal(a, b) {
+		t.Fatal("dashboard output is not deterministic")
+	}
+}
+
+// TestDashboardMinimalData renders from a nearly-empty report — a run
+// with no iterations (method without a refinement loop), no timeline, no
+// counters — without panicking or emitting empty-section artifacts.
+func TestDashboardMinimalData(t *testing.T) {
+	page := string(Dashboard(DashboardData{
+		Title: "kbench run 00000000",
+		Tool:  "kbench",
+		RunID: "00000000",
+	}))
+	if !strings.Contains(page, "<!DOCTYPE html>") || !strings.Contains(page, "</html>") {
+		t.Fatalf("minimal dashboard not a complete page:\n%s", page)
+	}
+	if strings.Contains(page, "Kernel counters") {
+		t.Error("zero-counter run should omit the counters table")
+	}
+}
+
+func TestDashboardEscapesUntrustedStrings(t *testing.T) {
+	d := DashboardData{
+		Title:  "run <script>alert(1)</script>",
+		Tool:   "kshape",
+		Method: "a<b&c",
+		Build:  map[string]string{"rev<": "x&y"},
+	}
+	page := string(Dashboard(d))
+	if strings.Contains(page, "<script>alert(1)</script>") || strings.Contains(page, "a<b&c") {
+		t.Error("untrusted strings not escaped")
+	}
+}
