@@ -35,9 +35,14 @@ vet:
 	$(GO) vet ./...
 	$(GO) vet -copylocks -atomic ./...
 
-# Repo-specific static analysis (cmd/kshapelint): floatcmp, detrand,
-# goroutine, maporder, errdrop. Exits nonzero on any unsuppressed
-# diagnostic; suppress deliberate cases with //lint:ignore <check> <reason>.
+# Repo-specific static analysis (cmd/kshapelint): the per-file checks
+# (floatcmp, detrand, goroutine, maporder, errdrop) plus the
+# interprocedural ones (hotpath, atomicinv, ignoredrift) — the latter
+# share one call graph / function-summary cache built once per run.
+# Exits nonzero on any unsuppressed diagnostic; suppress deliberate
+# cases with //lint:ignore <check> <reason>, and use
+# `go run ./cmd/kshapelint -diff ./...` to preview stale-directive
+# removals as a dry-run patch.
 lint:
 	$(GO) run ./cmd/kshapelint ./...
 

@@ -11,7 +11,11 @@
 //	kshapelint -json ./...                # machine-readable findings
 //	kshapelint -checks floatcmp ./...     # one analyzer only
 //	kshapelint -disable errdrop ./...     # all but one
+//	kshapelint -diff ./...                # stale-directive removals as a unified diff
 //	kshapelint -list                      # print check IDs and exit
+//
+// -diff is a dry run: the patch deleting stale //lint:ignore directives
+// goes to stdout (findings move to stderr); no file is ever written.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
@@ -35,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("kshapelint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	diffOut := fs.Bool("diff", false, "print a unified diff removing stale //lint:ignore directives (dry run, implies -checks ignoredrift)")
 	checks := fs.String("checks", "all", "comma-separated check IDs to enable (default all)")
 	disable := fs.String("disable", "", "comma-separated check IDs to disable")
 	list := fs.Bool("list", false, "print the registered checks and exit")
@@ -58,6 +63,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cli.Emit(stderr, "kshapelint: %v\n", err)
 		return 2
 	}
+	if *diffOut {
+		if *jsonOut {
+			cli.Emit(stderr, "kshapelint: -diff and -json are mutually exclusive\n")
+			return 2
+		}
+		found := false
+		for _, a := range analyzers {
+			if a == lint.IgnoreDriftAnalyzer {
+				found = true
+			}
+		}
+		if !found {
+			analyzers = append(analyzers, lint.IgnoreDriftAnalyzer)
+		}
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -69,11 +89,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cli.Emit(stderr, "kshapelint: %v\n", err)
 		return 2
 	}
+	// One Program spans every package: the call graph, function
+	// summaries, and atomic-access facts are built once and shared by
+	// all interprocedural analyzer runs.
+	prog := lint.NewProgram(fset, pkgs)
 	var diags []lint.Diagnostic
 	for _, pkg := range pkgs {
-		diags = append(diags, pkg.Pass(fset).Run(analyzers)...)
+		pass := pkg.Pass(fset)
+		pass.Prog = prog
+		diags = append(diags, pass.Run(analyzers)...)
 	}
 
+	if *diffOut {
+		patch, err := lint.StaleIgnoreDiff(diags, *dir)
+		if err != nil {
+			cli.Emit(stderr, "kshapelint: %v\n", err)
+			return 2
+		}
+		cli.Emit(stdout, "%s", patch)
+		for _, d := range diags {
+			cli.Emit(stderr, "%s\n", d)
+		}
+		if len(diags) > 0 {
+			cli.Emit(stderr, "kshapelint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+			return 1
+		}
+		return 0
+	}
 	if *jsonOut {
 		if diags == nil {
 			diags = []lint.Diagnostic{} // emit [] rather than null

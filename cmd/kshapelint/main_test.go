@@ -174,6 +174,116 @@ func TestListPrintsRegistry(t *testing.T) {
 	}
 }
 
+// interprocModule seeds one violation for each interprocedural
+// analyzer: an allocating //kshape:hotpath function, a plain read of an
+// atomically accessed variable, and a stale suppression directive.
+const interprocModule = `package main
+
+import "sync/atomic"
+
+var count int64
+
+//kshape:hotpath
+func hot(n int) []float64 {
+	return make([]float64, n)
+}
+
+func bump() { atomic.AddInt64(&count, 1) }
+
+func read() int64 {
+	//lint:ignore floatcmp this comparison was rewritten long ago
+	return count
+}
+
+func main() {
+	_ = hot(3)
+	bump()
+	_ = read()
+}
+`
+
+func TestInterprocChecksFire(t *testing.T) {
+	dir := writeModule(t, interprocModule)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-checks", "hotpath,atomicinv,ignoredrift", "-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, check := range []string{"hotpath", "atomicinv", "ignoredrift"} {
+		if !strings.Contains(out, "["+check+"]") {
+			t.Errorf("seeded violation for %q not reported; output:\n%s", check, out)
+		}
+	}
+}
+
+func TestDiffPrintsPatchWithoutWriting(t *testing.T) {
+	dir := writeModule(t, interprocModule)
+	before, err := os.ReadFile(filepath.Join(dir, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-diff", "-checks", "ignoredrift", "-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	patch := stdout.String()
+	for _, frag := range []string{
+		"--- a/main.go",
+		"+++ b/main.go",
+		"-\t//lint:ignore floatcmp this comparison was rewritten long ago",
+	} {
+		if !strings.Contains(patch, frag) {
+			t.Errorf("patch missing %q:\n%s", frag, patch)
+		}
+	}
+	if !strings.Contains(stderr.String(), "[ignoredrift]") {
+		t.Errorf("findings should move to stderr under -diff, got %q", stderr.String())
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("-diff must be a dry run; main.go was modified")
+	}
+}
+
+func TestDiffImpliesIgnoreDrift(t *testing.T) {
+	// -diff with a selection that excludes ignoredrift still appends it,
+	// so the patch is never silently empty.
+	dir := writeModule(t, interprocModule)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-diff", "-checks", "floatcmp", "-C", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "--- a/main.go") {
+		t.Errorf("-diff -checks floatcmp should still render the stale-directive patch, got %q", stdout.String())
+	}
+}
+
+func TestDiffConflictsWithJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-diff", "-json", "."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Errorf("stderr = %q, want mutual-exclusion message", stderr.String())
+	}
+}
+
+func TestDiffCleanModuleEmpty(t *testing.T) {
+	dir := writeModule(t, cleanModule)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-diff", "-C", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean -diff run should print no patch, got %q", stdout.String())
+	}
+}
+
 func TestSuppressionHonoredEndToEnd(t *testing.T) {
 	suppressed := strings.Replace(seededModule,
 		"\tif x == y {",

@@ -31,3 +31,32 @@ func TestAlignMembersAllocFree(t *testing.T) {
 		t.Errorf("alignMembers allocates %v per run, want 0", n)
 	}
 }
+
+// TestAssignmentScanAllocFree pins the per-series assignment inner loop
+// (nearestCentroid, with and without a distance-cap row) and the
+// refinement fixed-point helpers at zero allocations.
+func TestAssignmentScanAllocFree(t *testing.T) {
+	data, _ := twoClassShiftedData(12, 64, rand.New(rand.NewSource(22)))
+	batch := dist.NewSBDBatch(data)
+	queries := []*dist.SBDQuery{
+		batch.Query(ts.ZNormalize(data[0])),
+		batch.Query(ts.ZNormalize(data[1])),
+	}
+	sc := batch.Scratch()
+	capRow := make([]float64, len(queries))
+	var d float64
+	var j int
+	if n := testing.AllocsPerRun(50, func() {
+		d, j = nearestCentroid(queries, sc, 0, 0, capRow)
+		d, j = nearestCentroid(queries, sc, 1, j, nil)
+	}); n != 0 {
+		t.Errorf("nearestCentroid allocates %v per run, want 0", n)
+	}
+	_ = d
+	if n := testing.AllocsPerRun(50, func() {
+		equalFloatBits(data[0], data[1])
+		isAllZero(data[2])
+	}); n != 0 {
+		t.Errorf("refinement helpers allocate %v per run, want 0", n)
+	}
+}

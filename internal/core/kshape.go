@@ -524,18 +524,7 @@ func KShapeRun(data [][]float64, k int, rng *rand.Rand, opt KShapeOpts) (*Result
 				if capture != nil {
 					capRow = capture[i]
 				}
-				best, bestJ := math.Inf(1), labels[i]
-				for j := 0; j < k; j++ {
-					d, _ := queries[j].DistanceScratch(i, scratch)
-					if capRow != nil {
-						capRow[j] = d
-					}
-					if d < best {
-						best, bestJ = d, j
-					}
-				}
-				labels[i] = bestJ
-				assignDist[i] = best
+				assignDist[i], labels[i] = nearestCentroid(queries, scratch, i, labels[i], capRow)
 			}
 			batch.ReleaseScratch(scratch)
 		})
@@ -581,10 +570,34 @@ const assignMinPerChunk = 4
 // totals may differ.
 var disableSpectrumCache bool
 
+// nearestCentroid is the per-series inner loop of the assignment step:
+// an ascending scan over the cached centroid queries keeping the first
+// strict improvement (ties toward the smaller index, and toward the
+// series' current label initJ when nothing improves on +Inf), computing
+// each distance in the caller's scratch. capRow, when non-nil, captures
+// the full distance row for the run observer.
+//
+//kshape:hotpath
+func nearestCentroid(queries []*dist.SBDQuery, sc *dist.SBDScratch, i, initJ int, capRow []float64) (best float64, bestJ int) {
+	best, bestJ = math.Inf(1), initJ
+	for j, q := range queries {
+		d, _ := q.DistanceScratch(i, sc)
+		if capRow != nil {
+			capRow[j] = d
+		}
+		if d < best {
+			best, bestJ = d, j
+		}
+	}
+	return best, bestJ
+}
+
 // alignMembers shifts each member series data[idxs[t]] into rows[t],
 // aligned toward the query's centroid (Algorithm 1's alignment step for one
 // cluster). It allocates nothing: the shift search runs in the provided
 // scratch and the shifted series land in the preallocated rows.
+//
+//kshape:hotpath
 func alignMembers(q *dist.SBDQuery, sc *dist.SBDScratch, data [][]float64, idxs []int, rows [][]float64) {
 	for t, i := range idxs {
 		_, shift := q.DistanceScratch(i, sc)
@@ -595,6 +608,8 @@ func alignMembers(q *dist.SBDQuery, sc *dist.SBDScratch, data [][]float64, idxs 
 // equalFloatBits reports whether a and b are elementwise bit-identical —
 // the fixed-point test of the refinement skip (NaN-safe and distinguishing
 // ±0, unlike ==).
+//
+//kshape:hotpath
 func equalFloatBits(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false
@@ -607,6 +622,7 @@ func equalFloatBits(a, b []float64) bool {
 	return true
 }
 
+//kshape:hotpath
 func isAllZero(x []float64) bool {
 	for _, v := range x {
 		//lint:ignore floatcmp exact all-zero test of a degenerate series

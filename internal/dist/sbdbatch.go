@@ -157,6 +157,8 @@ func (b *SBDBatch) QueryInto(dst *SBDQuery, q []float64) *SBDQuery {
 
 // Distance returns SBD(q, x_i) and the shift aligning x_i toward q
 // (aligned x_i = ts.Shift(x_i, shift)), exactly matching SBD/Algorithm 1.
+//
+//kshape:hotpath
 func (s *SBDQuery) Distance(i int) (dist float64, shift int) {
 	return s.DistanceScratch(i, s.own)
 }
@@ -164,6 +166,8 @@ func (s *SBDQuery) Distance(i int) (dist float64, shift int) {
 // DistanceScratch is Distance computed in the caller-provided scratch,
 // which lets multiple goroutines share one prepared query — the query's
 // spectrum is only read — without repeating its forward transform.
+//
+//kshape:hotpath
 func (s *SBDQuery) DistanceScratch(i int, sc *SBDScratch) (dist float64, shift int) {
 	obs.Inc(obs.CounterSBD)
 	b := s.batch
@@ -184,6 +188,8 @@ func (s *SBDQuery) DistanceScratch(i int, sc *SBDScratch) (dist float64, shift i
 // that distance, breaking ties toward the smaller index — exactly the
 // result of NNIndex over the same series. It uses the query's owned
 // scratch; Len()==0 yields (-1, +Inf).
+//
+//kshape:hotpath
 func (s *SBDQuery) Nearest() (idx int, dist float64) {
 	best, bestIdx := math.Inf(1), -1
 	for i := range s.batch.spec {
@@ -198,6 +204,8 @@ func (s *SBDQuery) Nearest() (idx int, dist float64) {
 // shift aligning x_j toward x_i, without any forward transform: the
 // spectral product is assembled directly from the two cached conjugate
 // half-spectra (conj(conj(S_i)·) recovers S_i).
+//
+//kshape:hotpath
 func (b *SBDBatch) PairDistance(i, j int, sc *SBDScratch) (dist float64, shift int) {
 	obs.Inc(obs.CounterSBD)
 	den := b.norm[i] * b.norm[j]
@@ -219,6 +227,8 @@ func (b *SBDBatch) PairDistance(i, j int, sc *SBDScratch) (dist float64, shift i
 // tie-break of the per-pair SBD scan — but walks the two contiguous runs of
 // the circular buffer (negative lags at the tail, non-negative at the head)
 // instead of jumping between them per lag.
+//
+//kshape:hotpath
 func scanCC(cc []float64, m, l int, den float64) (float64, int) {
 	best, bestLag := math.Inf(-1), 0
 	for lag := -(m - 1); lag < 0; lag++ {
@@ -268,6 +278,8 @@ func (b *SBDBatch) PairwiseInto(out [][]float64, workers int) {
 }
 
 // pairwiseRows fills the upper-triangle entries of rows [lo, hi).
+//
+//kshape:hotpath
 func (b *SBDBatch) pairwiseRows(out [][]float64, lo, hi int, sc *SBDScratch) {
 	n := len(b.spec)
 	for i := lo; i < hi; i++ {

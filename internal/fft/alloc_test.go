@@ -1,0 +1,30 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRFFTRoundTripAllocFree pins the //kshape:hotpath transform kernels
+// at zero allocations: with the plan built and the spectrum/work buffers
+// preallocated, Forward and Inverse (and transformHalf and conj inside
+// them) must never touch the heap — that is what lets the batch SBD
+// loops stream thousands of transforms through one buffer set.
+func TestRFFTRoundTripAllocFree(t *testing.T) {
+	const n = 256
+	p := NewRFFT(n)
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	spec := make([]complex128, p.SpectrumLen())
+	work := make([]complex128, p.WorkLen())
+	out := make([]float64, n)
+	if a := testing.AllocsPerRun(100, func() {
+		p.Forward(x, spec, work)
+		p.Inverse(spec, out, work)
+	}); a != 0 {
+		t.Errorf("RFFT round trip allocates %v per run, want 0", a)
+	}
+}

@@ -72,6 +72,8 @@ func NewRFFT(n int) *RFFT {
 // the generic path accumulates w *= wStep) and is private to the plan: the
 // complex-FFT reference path keeps the generic implementation so the
 // differential oracles compare two genuinely distinct computations.
+//
+//kshape:hotpath
 func (p *RFFT) transformHalf(x []complex128, tw []complex128) {
 	h := p.half
 	for i, j := range p.rev {
@@ -110,6 +112,8 @@ func (p *RFFT) WorkLen() int { return p.half }
 // SpectrumLen). work (length WorkLen) is clobbered; x is not modified and
 // must not exceed n samples. The result matches ForwardReal(x, n)[0..n/2]
 // up to rounding.
+//
+//kshape:hotpath
 func (p *RFFT) Forward(x []float64, spec, work []complex128) {
 	if len(x) > p.n {
 		panic(fmt.Sprintf("fft: RFFT input length %d exceeds plan length %d", len(x), p.n))
@@ -163,6 +167,8 @@ func (p *RFFT) Forward(x []float64, spec, work []complex128) {
 // by conjugate symmetry), writing the real result of length n into out.
 // work (length WorkLen) is clobbered; spec is not modified. Scaling matches
 // Inverse: the round trip Forward→Inverse reproduces the padded input.
+//
+//kshape:hotpath
 func (p *RFFT) Inverse(spec []complex128, out []float64, work []complex128) {
 	if len(spec) < p.half+1 || len(out) < p.n || len(work) < p.half {
 		panic("fft: RFFT Inverse buffer too short")
@@ -199,4 +205,6 @@ func (p *RFFT) Inverse(spec []complex128, out []float64, work []complex128) {
 }
 
 // conj avoids pulling math/cmplx into the hot loops for a one-liner.
+//
+//kshape:hotpath
 func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }

@@ -1,0 +1,155 @@
+package lint
+
+// The -diff renderer: stale-directive findings from ignoredrift become
+// a unified diff that deletes them — a dry run only, nothing is ever
+// written. Because every edit is a known single-line change (drop a
+// full-line directive, trim a trailing one), the diff is assembled
+// directly from the line edits instead of running a general diff
+// algorithm.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// lineEdit is one single-line change: delete the line outright, or
+// replace it (trim a trailing directive comment off code).
+type lineEdit struct {
+	line    int // 1-based
+	del     bool
+	replace string
+}
+
+const diffContext = 3
+
+// StaleIgnoreDiff renders a unified diff removing the stale //lint:ignore
+// directives named by the given ignoredrift diagnostics. Diagnostics
+// from other checks are ignored. File paths in hunk headers are made
+// relative to baseDir when possible. The returned patch is empty when
+// no ignoredrift findings are present.
+func StaleIgnoreDiff(diags []Diagnostic, baseDir string) (string, error) {
+	byFile := map[string][]Diagnostic{}
+	var files []string
+	for _, d := range diags {
+		if d.Check != ignoreDriftName {
+			continue
+		}
+		if byFile[d.Position.Filename] == nil {
+			files = append(files, d.Position.Filename)
+		}
+		byFile[d.Position.Filename] = append(byFile[d.Position.Filename], d)
+	}
+	sort.Strings(files)
+	var out strings.Builder
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return "", err
+		}
+		lines := strings.Split(string(src), "\n")
+		edits, err := directiveEdits(lines, byFile[file])
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", file, err)
+		}
+		rel := file
+		if baseDir != "" {
+			if abs, err := filepath.Abs(baseDir); err == nil {
+				if r, err := filepath.Rel(abs, file); err == nil && !strings.HasPrefix(r, "..") {
+					rel = r
+				}
+			}
+		}
+		fmt.Fprintf(&out, "--- a/%s\n+++ b/%s\n", rel, rel)
+		renderHunks(&out, lines, edits)
+	}
+	return out.String(), nil
+}
+
+// directiveEdits turns stale-directive positions into line edits: a
+// directive alone on its line deletes the line; a trailing directive is
+// trimmed off, leaving the code. Multiple findings on one line (two
+// directives side by side) collapse into the single edit cutting at the
+// leftmost one.
+func directiveEdits(lines []string, diags []Diagnostic) ([]lineEdit, error) {
+	cutAt := map[int]int{} // line -> leftmost directive column
+	for _, d := range diags {
+		if d.Position.Line < 1 || d.Position.Line > len(lines) {
+			return nil, fmt.Errorf("line %d out of range", d.Position.Line)
+		}
+		if c, ok := cutAt[d.Position.Line]; !ok || d.Position.Column < c {
+			cutAt[d.Position.Line] = d.Position.Column
+		}
+	}
+	cutLines := make([]int, 0, len(cutAt))
+	for line := range cutAt {
+		cutLines = append(cutLines, line)
+	}
+	sort.Ints(cutLines)
+	var edits []lineEdit
+	for _, line := range cutLines {
+		col := cutAt[line]
+		text := lines[line-1]
+		if col < 1 || col > len(text)+1 {
+			return nil, fmt.Errorf("line %d: column %d out of range", line, col)
+		}
+		prefix := strings.TrimRight(text[:col-1], " \t")
+		if prefix == "" {
+			edits = append(edits, lineEdit{line: line, del: true})
+		} else {
+			edits = append(edits, lineEdit{line: line, replace: prefix})
+		}
+	}
+	return edits, nil
+}
+
+// renderHunks prints the unified-diff hunks for one file's edits,
+// merging edits whose context windows touch. lines is the file split on
+// newlines (the final element after a trailing newline is the empty
+// string and is not a line).
+func renderHunks(out *strings.Builder, lines []string, edits []lineEdit) {
+	nlines := len(lines)
+	if nlines > 0 && lines[nlines-1] == "" {
+		nlines-- // trailing newline artifact of Split
+	}
+	delta := 0 // cumulative new-minus-old line offset from prior hunks
+	for i := 0; i < len(edits); {
+		j := i + 1
+		for j < len(edits) && edits[j].line-edits[j-1].line <= 2*diffContext+1 {
+			j++
+		}
+		start := edits[i].line - diffContext
+		if start < 1 {
+			start = 1
+		}
+		end := edits[j-1].line + diffContext
+		if end > nlines {
+			end = nlines
+		}
+		dels := 0
+		byLine := map[int]lineEdit{}
+		for _, e := range edits[i:j] {
+			byLine[e.line] = e
+			if e.del {
+				dels++
+			}
+		}
+		oldCount := end - start + 1
+		fmt.Fprintf(out, "@@ -%d,%d +%d,%d @@\n", start, oldCount, start+delta, oldCount-dels)
+		for line := start; line <= end; line++ {
+			e, edited := byLine[line]
+			switch {
+			case !edited:
+				fmt.Fprintf(out, " %s\n", lines[line-1])
+			case e.del:
+				fmt.Fprintf(out, "-%s\n", lines[line-1])
+			default:
+				fmt.Fprintf(out, "-%s\n+%s\n", lines[line-1], e.replace)
+			}
+		}
+		delta -= dels
+		i = j
+	}
+}

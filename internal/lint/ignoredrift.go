@@ -1,0 +1,32 @@
+package lint
+
+// ignoredrift keeps the tree's reasoned //lint:ignore directives honest:
+// a directive that no longer suppresses any diagnostic is dead weight —
+// the code it excused has moved or been fixed — and is reported as
+// stale so it can be deleted (kshapelint -diff prints the removal as a
+// unified diff).
+//
+// Staleness is judged against the FULL analyzer registry regardless of
+// -checks: when ignoredrift is selected, Pass.Run executes every other
+// analyzer to collect the raw (pre-suppression) diagnostics, counts
+// which directives suppressed something, and reports the rest. Raw
+// findings from analyzers the user did not select are used only for
+// that accounting and are never reported themselves.
+//
+// A stale report is itself suppressible with
+//
+//	//lint:ignore ignoredrift <reason>
+//
+// and a directive whose check list includes ignoredrift is therefore
+// self-keeping — the documented way to pin a directive that guards a
+// condition which only appears under edits (a "keep pin").
+//
+// The real work lives in Pass.Run, which owns the suppression machinery
+// this analyzer audits; the Run hook here is intentionally empty.
+var IgnoreDriftAnalyzer = &Analyzer{
+	Name: "ignoredrift",
+	Doc:  "//lint:ignore directives must still suppress at least one diagnostic",
+	Run:  func(*Pass) {},
+}
+
+const ignoreDriftName = "ignoredrift"

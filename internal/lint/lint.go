@@ -13,6 +13,18 @@
 //	maporder  — no unordered map iteration feeding an output
 //	errdrop   — no silently discarded error returns
 //
+// On top of the per-file checks sits an interprocedural layer (Program:
+// a shared, cached call graph + per-function summaries over every loaded
+// package) powering three whole-program analyzers:
+//
+//	hotpath     — //kshape:hotpath functions must not allocate, block,
+//	              or dispatch dynamically, transitively through
+//	              un-annotated callees
+//	atomicinv   — state accessed via sync/atomic must never be accessed
+//	              non-atomically; values published through atomic.Pointer
+//	              must not be mutated after Store
+//	ignoredrift — //lint:ignore directives must still suppress something
+//
 // Diagnostics carry a stable check ID and are suppressible with
 //
 //	//lint:ignore <check>[,<check>...] <reason>
@@ -59,6 +71,9 @@ func Analyzers() []*Analyzer {
 		GoroutineAnalyzer,
 		MapOrderAnalyzer,
 		ErrDropAnalyzer,
+		HotPathAnalyzer,
+		AtomicInvAnalyzer,
+		IgnoreDriftAnalyzer,
 	}
 }
 
@@ -117,6 +132,13 @@ type Pass struct {
 	// (e.g. goroutine permits `go` statements only in kshape/internal/par).
 	// It is Pkg.Path() under the real loader but overridable in fixtures.
 	PkgPath string
+	// Prog is the shared interprocedural state (call graph, function
+	// summaries, atomic-access facts) spanning every package of the
+	// invocation. The driver builds one Program and attaches it to each
+	// package's Pass; when nil, the interprocedural analyzers lazily
+	// build a single-package Program, which keeps fixtures and direct
+	// Pass construction working.
+	Prog *Program
 
 	check  string
 	report func(Diagnostic)
@@ -135,10 +157,30 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // //lint:ignore suppressions, and returns surviving diagnostics sorted by
 // position. Malformed directives (unknown check, missing reason) are
 // returned as diagnostics under the "ignore" pseudo-check.
+//
+// When ignoredrift is among the selected analyzers, Run executes the
+// FULL registry (not just the selection) to collect raw diagnostics:
+// a directive is stale only if no analyzer at all would hit it, so
+// staleness must be judged against every check regardless of -checks.
+// Raw findings from non-selected analyzers feed that accounting and are
+// then dropped, never reported.
 func (p *Pass) Run(analyzers []*Analyzer) []Diagnostic {
+	selected := map[string]bool{}
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
+	toRun := analyzers
+	if selected[ignoreDriftName] {
+		toRun = nil
+		for _, a := range Analyzers() {
+			if a.Name != ignoreDriftName {
+				toRun = append(toRun, a)
+			}
+		}
+	}
 	var raw []Diagnostic
 	p.report = func(d Diagnostic) { raw = append(raw, d) }
-	for _, a := range analyzers {
+	for _, a := range toRun {
 		p.check = a.Name
 		a.Run(p)
 	}
@@ -149,8 +191,30 @@ func (p *Pass) Run(analyzers []*Analyzer) []Diagnostic {
 	dirs, bad := parseIgnores(p.Fset, p.Files, known)
 	out := append([]Diagnostic(nil), bad...)
 	for _, d := range raw {
-		if !dirs.suppresses(d) {
+		if !dirs.suppresses(d) && selected[d.Check] {
 			out = append(out, d)
+		}
+	}
+	if selected[ignoreDriftName] {
+		// Snapshot the stale candidates before suppression checks: a
+		// directive listing ignoredrift earns its hit by suppressing a
+		// stale report, and that must not rescue it from being one.
+		var stale []*ignoreDirective
+		for _, dir := range dirs.all {
+			if dir.hits == 0 && !isTestFile(p.Fset, dir.comment.Pos()) {
+				stale = append(stale, dir)
+			}
+		}
+		for _, dir := range stale {
+			d := Diagnostic{
+				Check:    ignoreDriftName,
+				Position: p.Fset.Position(dir.comment.Pos()),
+				Message: fmt.Sprintf("stale directive: no %q diagnostic is suppressed here anymore; delete it",
+					strings.Join(dir.checks, ",")),
+			}
+			if !dirs.suppresses(d) {
+				out = append(out, d)
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -169,27 +233,48 @@ func (p *Pass) Run(analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
+// ignoreDirective is one well-formed //lint:ignore comment: its checks,
+// its source comment (position and text feed the ignoredrift report and
+// the -diff renderer), and how many diagnostics it suppressed this run.
+type ignoreDirective struct {
+	comment *ast.Comment
+	checks  []string
+	hits    int
+}
+
 // ignoreSet indexes //lint:ignore directives by file and line. A
 // directive at line L suppresses matching diagnostics on L (trailing
-// comment) and L+1 (comment above the statement).
-type ignoreSet map[string]map[int][]string // filename -> line -> check IDs
+// comment) and L+1 (comment above the statement). Suppressions are
+// counted per directive so ignoredrift can report the ones that never
+// fired.
+type ignoreSet struct {
+	byLoc map[string]map[int][]*ignoreDirective // filename -> line -> directives
+	all   []*ignoreDirective                    // parse order
+}
 
-func (s ignoreSet) suppresses(d Diagnostic) bool {
-	lines := s[d.Position.Filename]
+// suppresses reports whether any directive covers the diagnostic,
+// crediting a hit to every directive that does.
+func (s *ignoreSet) suppresses(d Diagnostic) bool {
+	lines := s.byLoc[d.Position.Filename]
+	hit := false
 	for _, line := range []int{d.Position.Line, d.Position.Line - 1} {
-		for _, check := range lines[line] {
-			if check == d.Check || check == "all" {
-				return true
+		for _, dir := range lines[line] {
+			for _, check := range dir.checks {
+				if check == d.Check || check == "all" {
+					dir.hits++
+					hit = true
+					break
+				}
 			}
 		}
 	}
-	return false
+	return hit
 }
 
 const ignorePrefix = "//lint:ignore"
 
-func parseIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool) (ignoreSet, []Diagnostic) {
-	dirs := ignoreSet{}
+func parseIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool) (*ignoreSet, []Diagnostic) {
+	dirs := &ignoreSet{byLoc: map[string]map[int][]*ignoreDirective{}}
 	var bad []Diagnostic
 	malformed := func(pos token.Pos, format string, args ...any) {
 		bad = append(bad, Diagnostic{
@@ -221,11 +306,13 @@ func parseIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool)
 				if !ok {
 					continue
 				}
+				dir := &ignoreDirective{comment: c, checks: checks}
 				p := fset.Position(c.Pos())
-				if dirs[p.Filename] == nil {
-					dirs[p.Filename] = map[int][]string{}
+				if dirs.byLoc[p.Filename] == nil {
+					dirs.byLoc[p.Filename] = map[int][]*ignoreDirective{}
 				}
-				dirs[p.Filename][p.Line] = append(dirs[p.Filename][p.Line], checks...)
+				dirs.byLoc[p.Filename][p.Line] = append(dirs.byLoc[p.Filename][p.Line], dir)
+				dirs.all = append(dirs.all, dir)
 			}
 		}
 	}

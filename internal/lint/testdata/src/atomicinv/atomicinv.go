@@ -1,0 +1,114 @@
+// Package atomicinv seeds the two invariant breaches the analyzer
+// hunts: plain reads/writes of state that is accessed through
+// sync/atomic elsewhere (one racy access voids every atomic one), and
+// mutation of values already published to concurrent readers through
+// atomic.Pointer/atomic.Value stores. Sanctioned shapes — &x straight
+// into an atomic call, method calls on typed atomics, address-of to
+// pass an atomic along, rebinding a published pointer variable — sit
+// next to each violation.
+package atomicinv
+
+import "sync/atomic"
+
+// stats mixes function-style atomic access with plain access to the
+// same field.
+type stats struct {
+	n     int64
+	clean int64 // never touched atomically; plain access is fine
+}
+
+func (s *stats) inc() {
+	atomic.AddInt64(&s.n, 1) // the &s.n operand is the sanctioned access
+}
+
+func (s *stats) reset() {
+	s.n = 0     // want "\[atomicinv\] non-atomic access to n, which is accessed via sync/atomic elsewhere"
+	s.clean = 0 // not an atomic target
+}
+
+func (s *stats) read() int64 {
+	return s.n // want "\[atomicinv\] non-atomic access to n"
+}
+
+func (s *stats) doubleCount() {
+	// The sanction is precise: only the &s.n operand is exempt, the
+	// second argument is still a plain racy read.
+	atomic.AddInt64(&s.n, s.n) // want "\[atomicinv\] non-atomic access to n"
+}
+
+func (s *stats) suppressedReset() {
+	//lint:ignore atomicinv runs in the constructor, before any reader goroutine exists
+	s.n = 0
+}
+
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func snapshotHits() int64 {
+	return atomic.LoadInt64(&hits) // sanctioned load
+}
+
+func leakHits() int64 {
+	return hits // want "\[atomicinv\] non-atomic access to hits"
+}
+
+// holder exercises the typed sync/atomic API.
+type holder struct {
+	flag atomic.Bool
+	n    atomic.Int64
+}
+
+func (h *holder) set() {
+	h.flag.Store(true) // method receiver is a sanctioned use
+	h.n.Add(1)
+}
+
+func (h *holder) copyOut() atomic.Bool {
+	return h.flag // want "\[atomicinv\] atomic\.Bool value used non-atomically"
+}
+
+func (h *holder) addr() *atomic.Int64 {
+	return &h.n // address-of passes the atomic along without copying it
+}
+
+func slotStore(slots []atomic.Int64, i int) {
+	slots[i].Store(0) // indexing on the way to a method call is fine
+}
+
+// snapshot is the payload published through the atomic pointers below.
+type snapshot struct {
+	iter    int
+	inertia float64
+}
+
+var current atomic.Pointer[snapshot]
+var box atomic.Value
+
+func publishPointer(iter int) {
+	s := &snapshot{iter: iter}
+	current.Store(s)
+	s.inertia = 1.5 // want "\[atomicinv\] s is mutated after being published via atomic\.Pointer\.Store"
+}
+
+func publishAddr(iter int) {
+	var s snapshot
+	s.iter = iter // writes before the store build the snapshot; fine
+	current.Store(&s)
+	s.inertia = 2.5 // want "\[atomicinv\] s is mutated after being published via atomic\.Pointer\.Store"
+}
+
+func publishValue() {
+	s := &snapshot{iter: 1}
+	box.Store(s)
+	s.iter = 2 // want "\[atomicinv\] s is mutated after being published via atomic\.Value\.Store"
+}
+
+func publishClean(iter int) {
+	s := &snapshot{iter: iter, inertia: 0.5}
+	current.Store(s)
+	s = &snapshot{iter: iter + 1} // rebinding the variable is not a write through it
+	current.Store(s)
+}

@@ -1,0 +1,54 @@
+// Package ignoredrift seeds live, stale, and pinned //lint:ignore
+// directives. Staleness is judged against the FULL registry regardless
+// of -checks, so a directive for a non-selected check that still fires
+// is live; a directive suppressing nothing at all is reported at its own
+// position; and a directive listing ignoredrift among its own checks
+// pins itself (and stale neighbors) in place. The want comments ride
+// inside the stale directives' reason text: the report lands on the
+// directive's line, where a separate comment cannot sit.
+package ignoredrift
+
+func live(a, b float64) bool {
+	//lint:ignore floatcmp exactness is the point here; the directive still earns its keep
+	return a == b
+}
+
+func liveTrailing(a, b float64) bool {
+	return a == b //lint:ignore floatcmp trailing directives are credited too
+}
+
+func stale(a, b float64) bool {
+	//lint:ignore floatcmp the comparison below was rewritten; nothing fires // want "stale directive: no \"floatcmp\" diagnostic is suppressed here anymore; delete it"
+	return a < b
+}
+
+func staleTrailing(a, b float64) bool {
+	return a < b //lint:ignore detrand ordering never tripped detrand // want "stale directive: no \"detrand\" diagnostic is suppressed here anymore"
+}
+
+func staleMulti(m map[string]bool) int {
+	//lint:ignore floatcmp,maporder neither check fires on a plain len call // want "stale directive: no \"floatcmp,maporder\" diagnostic is suppressed here anymore"
+	return len(m)
+}
+
+func halfLive(a, b float64) bool {
+	//lint:ignore floatcmp,detrand one live check keeps the whole directive
+	return a == b
+}
+
+func keepPin(a, b float64) bool {
+	//lint:ignore floatcmp,ignoredrift pinned: the exact comparison returns under a build tag
+	return a < b
+}
+
+func pinnedNeighbor(a, b float64) bool {
+	//lint:ignore ignoredrift the directive below is kept deliberately through a migration
+	//lint:ignore floatcmp kept while the comparison is rewritten
+	return a < b
+}
+
+func unsuppressed(a, b float64) bool {
+	// floatcmp fires raw here, feeds the staleness accounting, and is
+	// then dropped: only ignoredrift was selected.
+	return a == b
+}

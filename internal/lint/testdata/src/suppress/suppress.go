@@ -28,12 +28,12 @@ func suppressedAll(work func()) {
 }
 
 func wrongCheckDoesNotSuppress(a, b float64) bool {
-	//lint:ignore errdrop a directive for a different check must not silence floatcmp
+	//lint:ignore errdrop a directive for a different check must not silence floatcmp // want "stale directive: no \"errdrop\" diagnostic is suppressed here anymore"
 	return a == b // want "\[floatcmp\] floating-point == comparison"
 }
 
 func farDirectiveDoesNotSuppress(a, b float64) bool {
-	//lint:ignore floatcmp a directive two lines up is out of range
+	//lint:ignore floatcmp a directive two lines up is out of range // want "stale directive: no \"floatcmp\" diagnostic is suppressed here anymore"
 
 	return a == b // want "\[floatcmp\] floating-point == comparison"
 }

@@ -240,6 +240,44 @@ func runPool(w, chunks, n int, body func(c, lo, hi int)) {
 	wg.Wait()
 }
 
+// sumFloatRange is the serial accumulation inner loop of SumFloat:
+// ascending index order, one term at a time, so its rounding is the
+// reference every parallel decomposition must reproduce.
+//
+//kshape:hotpath
+func sumFloatRange(lo, hi int, term func(i int) float64) float64 {
+	total := 0.0
+	for i := lo; i < hi; i++ {
+		//lint:ignore hotpath term is the caller-supplied kernel; the reduction loop itself stays allocation-free
+		total += term(i)
+	}
+	return total
+}
+
+// sumFloats folds an already-materialized term slice in index order —
+// the serial combine step of SumFloat's parallel path.
+//
+//kshape:hotpath
+func sumFloats(vals []float64) float64 {
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+// sumIntRange is the per-chunk integer reduction inner loop of SumInt.
+//
+//kshape:hotpath
+func sumIntRange(lo, hi int, term func(i int) int) int {
+	total := 0
+	for i := lo; i < hi; i++ {
+		//lint:ignore hotpath term is the caller-supplied kernel; the reduction loop itself stays allocation-free
+		total += term(i)
+	}
+	return total
+}
+
 // SumFloat returns the sum of term(i) for i in [0, n). The terms are
 // evaluated in parallel but accumulated serially in ascending index order,
 // so the floating-point result is bit-for-bit identical for every worker
@@ -249,19 +287,11 @@ func SumFloat(workers, n int, term func(i int) float64) float64 {
 		return 0
 	}
 	if Resolve(workers) == 1 || n == 1 {
-		total := 0.0
-		for i := 0; i < n; i++ {
-			total += term(i)
-		}
-		return total
+		return sumFloatRange(0, n, term)
 	}
 	vals := make([]float64, n)
 	For(workers, n, func(i int) { vals[i] = term(i) })
-	total := 0.0
-	for _, v := range vals {
-		total += v
-	}
-	return total
+	return sumFloats(vals)
 }
 
 // SumInt returns the sum of term(i) for i in [0, n), evaluated in parallel.
@@ -272,19 +302,11 @@ func SumInt(workers, n int, term func(i int) int) int {
 		return 0
 	}
 	if Resolve(workers) == 1 || n == 1 {
-		total := 0
-		for i := 0; i < n; i++ {
-			total += term(i)
-		}
-		return total
+		return sumIntRange(0, n, term)
 	}
 	var total atomic.Int64
 	ForChunks(workers, n, func(lo, hi int) {
-		local := 0
-		for i := lo; i < hi; i++ {
-			local += term(i)
-		}
-		total.Add(int64(local))
+		total.Add(int64(sumIntRange(lo, hi, term)))
 	})
 	return int(total.Load())
 }
@@ -307,27 +329,37 @@ func MaxIndex(workers, n int, score func(i int) float64) (argmax int, max float6
 	return a, -v
 }
 
+// extremeCandidate is one chunk's best (index, score) pair; idx -1 means
+// the chunk selected nothing (empty range or all-NaN scores).
+type extremeCandidate struct {
+	idx int
+	val float64
+}
+
+// scanExtreme is the ascending inner scan of MinIndex/MaxIndex over one
+// chunk, keeping the first strict improvement (ties toward the smaller
+// index).
+//
+//kshape:hotpath
+func scanExtreme(lo, hi int, score func(i int) float64, better func(v, best float64) bool) extremeCandidate {
+	best := extremeCandidate{-1, math.Inf(1)}
+	for i := lo; i < hi; i++ {
+		//lint:ignore hotpath score and better are the caller-supplied kernels; the scan loop itself stays allocation-free
+		if v := score(i); better(v, best.val) {
+			best = extremeCandidate{i, v}
+		}
+	}
+	return best
+}
+
 func extremeIndex(workers, n int, score func(i int) float64, better func(v, best float64) bool) (int, float64) {
 	inf := math.Inf(1)
-	type candidate struct {
-		idx int
-		val float64
-	}
-	scan := func(lo, hi int) candidate {
-		best := candidate{-1, inf}
-		for i := lo; i < hi; i++ {
-			if v := score(i); better(v, best.val) {
-				best = candidate{i, v}
-			}
-		}
-		return best
-	}
 	w := Resolve(workers)
 	if n <= 0 {
 		return -1, inf
 	}
 	if w == 1 || n == 1 {
-		c := scan(0, n)
+		c := scanExtreme(0, n, score, better)
 		return c.idx, c.val
 	}
 	if w > n {
@@ -337,11 +369,11 @@ func extremeIndex(workers, n int, score func(i int) float64, better func(v, best
 	if chunks > n {
 		chunks = n
 	}
-	partial := make([]candidate, chunks)
-	runPool(w, chunks, n, func(c, lo, hi int) { partial[c] = scan(lo, hi) })
+	partial := make([]extremeCandidate, chunks)
+	runPool(w, chunks, n, func(c, lo, hi int) { partial[c] = scanExtreme(lo, hi, score, better) })
 	// Merge in chunk (hence index) order; strict comparison keeps the
 	// smallest index on ties, matching the serial scan.
-	best := candidate{-1, inf}
+	best := extremeCandidate{-1, inf}
 	for _, c := range partial {
 		if c.idx >= 0 && better(c.val, best.val) {
 			best = c

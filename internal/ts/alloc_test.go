@@ -1,0 +1,26 @@
+package ts
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestShiftIntoAllocFree pins the //kshape:hotpath shift kernel at zero
+// allocations in both directions and in the shifted-out degenerate
+// case; the refinement loop calls it once per member per iteration.
+func TestShiftIntoAllocFree(t *testing.T) {
+	const m = 128
+	rng := rand.New(rand.NewSource(7))
+	y := make([]float64, m)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, m)
+	if a := testing.AllocsPerRun(100, func() {
+		ShiftInto(dst, y, 9)
+		ShiftInto(dst, y, -9)
+		ShiftInto(dst, y, m+1)
+	}); a != 0 {
+		t.Errorf("ShiftInto allocates %v per run, want 0", a)
+	}
+}

@@ -236,6 +236,8 @@ func Shift(y []float64, s int) []float64 {
 // may alias y: for s >= 0 the copy moves data right and the zero-fill
 // follows it, for s < 0 the copy moves data left, so in both directions
 // every source element is read before it is overwritten.
+//
+//kshape:hotpath
 func ShiftInto(dst, y []float64, s int) {
 	m := len(y)
 	if len(dst) != m {
