@@ -1,0 +1,14 @@
+package lint
+
+import "testing"
+
+func TestCycleBugProbe(t *testing.T) {
+	p := parseFixture(t, "cyclebug", "fix/cyclebug")
+	diags := p.Run([]*Analyzer{HotPathAnalyzer})
+	for _, d := range diags {
+		t.Logf("%s: %s", d.Position, d.Message)
+	}
+	if len(diags) != 2 {
+		t.Errorf("want 2 findings (one per root), got %d", len(diags))
+	}
+}
